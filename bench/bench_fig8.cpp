@@ -1,0 +1,44 @@
+// Reproduces Fig. 8: BRAM utilization of parallel accelerators with and
+// without memory sharing (m in {1, 2, 4, 8, 16}, device max 312).
+#include "BenchCommon.h"
+
+int main() {
+  using namespace cfd;
+  using namespace cfd::bench;
+
+  printHeader("Fig. 8: BRAM utilization vs number of PLM units");
+  std::cout << "  m    no-sharing(paper)  no-sharing(meas)  "
+               "sharing(paper)  sharing(meas)  max\n";
+
+  const Flow noSharingOne = compileHelmholtz(false, 1, 1);
+  const Flow sharingOne = compileHelmholtz(true, 1, 1);
+  const int perUnitNoSharing = noSharingOne.systemDesign().plmBram36PerUnit;
+  const int perUnitSharing = sharingOne.systemDesign().plmBram36PerUnit;
+
+  for (int m : {1, 2, 4, 8, 16}) {
+    const int paperNoSharing = 31 * m;
+    const int paperSharing = 18 * m;
+    std::cout << padLeft(std::to_string(m), 4)
+              << padLeft(std::to_string(paperNoSharing), 15)
+              << padLeft(std::to_string(perUnitNoSharing * m), 18)
+              << padLeft(std::to_string(paperSharing), 17)
+              << padLeft(std::to_string(perUnitSharing * m), 14)
+              << padLeft("312", 8) << "\n";
+  }
+
+  std::cout << "\n  per-kernel PLM: paper 31 -> 18 BRAM36 with sharing ("
+            << formatFixed(18.0 / 31.0, 2) << "x); measured "
+            << perUnitNoSharing << " -> " << perUnitSharing << " ("
+            << formatFixed(static_cast<double>(perUnitSharing) /
+                               static_cast<double>(perUnitNoSharing),
+                           2)
+            << "x)\n";
+  std::cout << "  feasibility: no-sharing caps at m = "
+            << sysgen::maxEqualReplicas(noSharingOne.kernelReport(),
+                                        noSharingOne.memoryPlan())
+            << "; sharing reaches m = "
+            << sysgen::maxEqualReplicas(sharingOne.kernelReport(),
+                                        sharingOne.memoryPlan())
+            << " (paper: 8 vs 16)\n";
+  return 0;
+}

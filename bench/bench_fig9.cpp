@@ -1,0 +1,46 @@
+// Reproduces Fig. 9: accelerator and total speedup of the parallel
+// architectures relative to m = k = 1 (50,000 elements, data in DRAM).
+#include "BenchCommon.h"
+
+#include <array>
+
+int main() {
+  using namespace cfd;
+  using namespace cfd::bench;
+
+  struct PaperPoint {
+    int m;
+    double accel;
+    double total;
+  };
+  constexpr std::array<PaperPoint, 5> paper{{
+      {1, 1.00, 1.00},
+      {2, 2.00, 1.96},
+      {4, 3.97, 3.78},
+      {8, 7.91, 7.09},
+      {16, 15.76, 12.58},
+  }};
+
+  const Flow base = compileHelmholtz(true, 1, 1);
+  const sim::SimResult baseline = base.simulate({.numElements = kNumElements});
+
+  printHeader("Fig. 9: speedup vs m = k = 1 (50,000 elements)");
+  std::cout << "  m,k   accel(paper)  accel(meas)  total(paper)  "
+               "total(meas)\n";
+  for (const auto& point : paper) {
+    const Flow flow = compileHelmholtz(true, point.m, point.m);
+    const sim::SimResult result =
+        flow.simulate({.numElements = kNumElements});
+    const double accel = baseline.kernelTimeUs / result.kernelTimeUs;
+    const double total = baseline.totalTimeUs() / result.totalTimeUs();
+    std::cout << padLeft(std::to_string(point.m), 5)
+              << padLeft(formatFixed(point.accel, 2), 14)
+              << padLeft(formatFixed(accel, 2), 13)
+              << padLeft(formatFixed(point.total, 2), 14)
+              << padLeft(formatFixed(total, 2), 13) << "\n";
+  }
+  std::cout << "\n  accelerator speedup is nearly ideal k; total speedup "
+               "is bounded by the\n  CPU-driven data transfers "
+               "(paper Sec. VI).\n";
+  return 0;
+}

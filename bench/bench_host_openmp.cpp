@@ -1,0 +1,85 @@
+// Host-side element parallelism: spectral elements are independent
+// (paper §II-A), so the ARM/CPU baseline can thread over them. This
+// bench measures *actual wall-clock* throughput of the functional
+// interpreter across OpenMP threads — the in-repo analogue of running
+// the reference implementation on all four A53 cores instead of one
+// (the paper's SW Ref. is single-threaded).
+#include "BenchCommon.h"
+
+#include <chrono>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+int main() {
+  using namespace cfd;
+  using namespace cfd::bench;
+  using Clock = std::chrono::steady_clock;
+
+  // A smaller degree keeps the interpreted workload tractable while the
+  // per-element independence is identical.
+  const std::string source = R"(
+var input  S : [7 7]
+var input  D : [7 7 7]
+var input  u : [7 7 7]
+var output v : [7 7 7]
+var t : [7 7 7]
+var r : [7 7 7]
+t = S # S # S # u . [[1 6] [3 7] [5 8]]
+r = D * t
+v = S # S # S # r . [[0 6] [2 7] [4 8]]
+)";
+  constexpr int kElements = 512;
+
+  FlowOptions options;
+  options.system.memories = 1;
+  options.system.kernels = 1;
+  const Flow flow = Flow::compile(source, options);
+
+  printHeader("Host interpreter throughput across OpenMP threads "
+              "(512 elements, p = 6)");
+#ifndef _OPENMP
+  std::cout << "  (compiled without OpenMP: single-threaded only)\n";
+#endif
+  std::cout << "  threads   wall ms   elements/s   speedup\n";
+
+  double baseline = 0.0;
+  std::vector<int> threadCounts{1};
+#ifdef _OPENMP
+  for (int t : {2, 4, 8})
+    if (t <= omp_get_max_threads())
+      threadCounts.push_back(t);
+#endif
+
+  for (int threads : threadCounts) {
+    const auto start = Clock::now();
+#ifdef _OPENMP
+#pragma omp parallel for num_threads(threads) schedule(dynamic)
+#endif
+    for (int e = 0; e < kElements; ++e) {
+      eval::TensorStore store(flow.program(), flow.schedule().layouts);
+      std::uint64_t seed = static_cast<std::uint64_t>(e) * 11 + 1;
+      for (const auto& tensor : flow.program().tensors())
+        if (tensor.kind == ir::TensorKind::Input)
+          store.import(tensor.id,
+                       eval::makeTestInput(tensor.type.shape, seed++));
+      eval::execute(flow.schedule(), store);
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    if (threads == 1)
+      baseline = ms;
+    std::cout << padLeft(std::to_string(threads), 9)
+              << padLeft(formatFixed(ms, 1), 10)
+              << padLeft(formatFixed(kElements / (ms / 1e3), 0), 13)
+              << padLeft(formatFixed(baseline / ms, 2), 10) << "\n";
+  }
+
+  std::cout << "\n  Element independence gives near-linear host scaling — "
+               "the same property\n  the FPGA flow exploits spatially by "
+               "replicating k kernels.\n";
+  return 0;
+}

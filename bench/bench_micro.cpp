@@ -1,0 +1,89 @@
+// Google-benchmark microbenchmarks of the flow itself: frontend, IR
+// lowering, scheduling, memory planning, full compilation and functional
+// interpretation throughput.
+#include "BenchCommon.h"
+#include "dsl/Parser.h"
+#include "ir/Lowering.h"
+#include "ir/Transforms.h"
+#include "sched/Reschedule.h"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace cfd;
+using cfd::bench::kInverseHelmholtz;
+
+void BM_ParseAndCheck(benchmark::State& state) {
+  for (auto _ : state) {
+    dsl::Program ast = dsl::parseAndCheck(kInverseHelmholtz);
+    benchmark::DoNotOptimize(ast);
+  }
+}
+BENCHMARK(BM_ParseAndCheck);
+
+void BM_LowerToIR(benchmark::State& state) {
+  const dsl::Program ast = dsl::parseAndCheck(kInverseHelmholtz);
+  for (auto _ : state) {
+    ir::Program program = ir::lower(ast);
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_LowerToIR);
+
+void BM_ScheduleAndReschedule(benchmark::State& state) {
+  const dsl::Program ast = dsl::parseAndCheck(kInverseHelmholtz);
+  const ir::Program program = ir::lower(ast);
+  for (auto _ : state) {
+    sched::Schedule schedule = sched::buildReferenceSchedule(program);
+    sched::reschedule(schedule, {});
+    benchmark::DoNotOptimize(schedule);
+  }
+}
+BENCHMARK(BM_ScheduleAndReschedule);
+
+void BM_FullCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    Flow flow = Flow::compile(kInverseHelmholtz);
+    benchmark::DoNotOptimize(flow);
+  }
+}
+BENCHMARK(BM_FullCompile);
+
+void BM_EmitC(benchmark::State& state) {
+  const Flow flow = Flow::compile(kInverseHelmholtz);
+  for (auto _ : state) {
+    std::string code = flow.cCode();
+    benchmark::DoNotOptimize(code);
+  }
+}
+BENCHMARK(BM_EmitC);
+
+void BM_InterpretElement(benchmark::State& state) {
+  const Flow flow = Flow::compile(kInverseHelmholtz);
+  eval::TensorStore store(flow.program(), flow.schedule().layouts);
+  std::uint64_t seed = 1;
+  for (const auto& tensor : flow.program().tensors())
+    if (tensor.kind == ir::TensorKind::Input)
+      store.import(tensor.id,
+                   eval::makeTestInput(tensor.type.shape, seed++));
+  for (auto _ : state) {
+    eval::OpCounts counts = eval::execute(flow.schedule(), store);
+    benchmark::DoNotOptimize(counts);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpretElement);
+
+void BM_SimulateRun(benchmark::State& state) {
+  const Flow flow = cfd::bench::compileHelmholtz(true, 16, 16);
+  for (auto _ : state) {
+    sim::SimResult result = flow.simulate({.numElements = 50000});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SimulateRun);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Reproduces Table I: resource utilization of the full FPGA system for
+// the no-sharing and sharing memory architectures, m = k in
+// {1, 2, 4, 8 (, 16 with sharing)}.
+#include "BenchCommon.h"
+
+#include <array>
+
+namespace {
+
+struct PaperRow {
+  int m;
+  int lut;
+  int ff;
+  int dsp;
+};
+
+constexpr std::array<PaperRow, 4> kNoSharing{{
+    {1, 11318, 9523, 15},
+    {2, 15929, 12583, 30},
+    {4, 25728, 18663, 60},
+    {8, 42679, 30795, 120},
+}};
+
+constexpr std::array<PaperRow, 5> kSharing{{
+    {1, 11292, 9533, 15},
+    {2, 15572, 12596, 30},
+    {4, 24480, 18663, 60},
+    {8, 42141, 30782, 120},
+    {16, 77235, 55053, 240},
+}};
+
+} // namespace
+
+int main() {
+  using namespace cfd;
+  using namespace cfd::bench;
+
+  printHeader("Table I: resource utilization (xczu7ev: 230K LUT, 460K FF)");
+  std::cout << "  arch      m,k   LUT(paper)   LUT(meas)   FF(paper)   "
+               "FF(meas)   DSP(paper)   DSP(meas)\n";
+
+  const auto runRows = [](bool sharing, const auto& rows) {
+    for (const auto& row : rows) {
+      const Flow flow = compileHelmholtz(sharing, row.m, row.m);
+      const hls::Resources& total = flow.systemDesign().total;
+      std::cout << "  " << padRight(sharing ? "sharing" : "no-shar", 9)
+                << padLeft(std::to_string(row.m), 4)
+                << padLeft(formatThousands(row.lut), 12)
+                << padLeft(formatThousands(total.lut), 12)
+                << padLeft(formatThousands(row.ff), 12)
+                << padLeft(formatThousands(total.ff), 11)
+                << padLeft(std::to_string(row.dsp), 11)
+                << padLeft(std::to_string(total.dsp), 12) << "\n";
+    }
+  };
+  runRows(false, kNoSharing);
+  runRows(true, kSharing);
+
+  // The no-sharing architecture cannot reach m = 16 on this device.
+  bool rejected = false;
+  try {
+    compileHelmholtz(false, 16, 16);
+  } catch (const FlowError&) {
+    rejected = true;
+  }
+  std::cout << "\n  no-sharing m=16: "
+            << (rejected ? "correctly rejected (Eq. 3 infeasible)"
+                         : "UNEXPECTEDLY ACCEPTED")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// End-to-end spectral-element Helmholtz solve on the generated
+// accelerator: builds the real S and D operator inputs from GLL
+// quadrature and fast diagonalization (paper §II-A / ref [13]), compiles
+// the paper's nine-line kernel, solves (kappa*M3 + K3) u = f for a batch
+// of elements on the simulated FPGA system, and verifies the residual by
+// applying the forward operator.
+//
+//   $ ./sem_solver
+#include "rtl/SystemModel.h"
+#include "sem/HelmholtzOperator.h"
+#include "support/Format.h"
+
+#include <cmath>
+#include <iostream>
+
+namespace {
+
+std::string kernelSource(int n) {
+  const std::string s = std::to_string(n);
+  std::string src;
+  src += "var input  S : [" + s + " " + s + "]\n";
+  src += "var input  D : [" + s + " " + s + " " + s + "]\n";
+  src += "var input  u : [" + s + " " + s + " " + s + "]\n";
+  src += "var output v : [" + s + " " + s + " " + s + "]\n";
+  src += "var t : [" + s + " " + s + " " + s + "]\n";
+  src += "var r : [" + s + " " + s + " " + s + "]\n";
+  src += "t = S # S # S # u . [[1 6] [3 7] [5 8]]\n";
+  src += "r = D * t\n";
+  src += "v = S # S # S # r . [[0 6] [2 7] [4 8]]\n";
+  return src;
+}
+
+} // namespace
+
+int main() {
+  using namespace cfd;
+
+  const int p = 7;          // polynomial degree
+  const int n = p + 1;      // GLL points per dimension
+  const double kappa = 3.0; // Helmholtz parameter
+  const int numElements = 8;
+
+  std::cout << "Spectral-element Helmholtz solve: p = " << p << ", kappa = "
+            << kappa << ", " << numElements << " elements\n\n";
+
+  // 1. Build the operator factors from actual SEM numerics.
+  const sem::HelmholtzFactors factors =
+      sem::buildInverseHelmholtz(p, kappa);
+  std::cout << "GLL eigenvalues lambda_0.." << p << ": "
+            << formatFixed(factors.lambda.front(), 4) << " .. "
+            << formatFixed(factors.lambda.back(), 4) << "\n";
+
+  // 2. Compile the paper's kernel and instantiate the system model.
+  FlowOptions options;
+  options.system.memories = 4;
+  options.system.kernels = 4;
+  const Flow flow = Flow::compile(kernelSource(n), options);
+  std::cout << "accelerator: " << flow.kernelReport().resources.str()
+            << "\nsystem: m=" << flow.systemDesign().m
+            << " k=" << flow.systemDesign().k << "\n\n";
+  rtl::SystemModel system(flow);
+
+  // 3. Per-element right-hand sides (smooth fields).
+  const eval::DenseTensor sTensor = [&] {
+    eval::DenseTensor t = eval::DenseTensor::zeros({n, n});
+    t.data = factors.S();
+    return t;
+  }();
+  const eval::DenseTensor dTensor = [&] {
+    eval::DenseTensor t = eval::DenseTensor::zeros({n, n, n});
+    t.data = factors.D();
+    return t;
+  }();
+
+  std::vector<rtl::SystemModel::ElementInput> elements;
+  std::vector<std::vector<double>> rhs;
+  for (int e = 0; e < numElements; ++e) {
+    eval::DenseTensor f = eval::DenseTensor::zeros({n, n, n});
+    for (std::size_t i = 0; i < f.data.size(); ++i)
+      f.data[i] = std::sin(0.1 * static_cast<double>(i + 1) *
+                           static_cast<double>(e + 1));
+    rhs.push_back(f.data);
+    rtl::SystemModel::ElementInput element;
+    element.arrays["S"] = sTensor;
+    element.arrays["D"] = dTensor;
+    element.arrays["u"] = f;
+    elements.push_back(std::move(element));
+  }
+
+  // 4. Solve on the simulated FPGA system.
+  const auto outputs = system.processElements(elements);
+
+  // 5. Verify: apply the forward operator to every solution.
+  double worstResidual = 0.0;
+  for (int e = 0; e < numElements; ++e) {
+    const auto& u = outputs[static_cast<std::size_t>(e)].at("v").data;
+    const std::vector<double> back = sem::applyForward(factors, u);
+    double residual = 0.0;
+    for (std::size_t i = 0; i < back.size(); ++i)
+      residual = std::max(residual,
+                          std::abs(back[i] -
+                                   rhs[static_cast<std::size_t>(e)][i]));
+    worstResidual = std::max(worstResidual, residual);
+    std::cout << "  element " << e << ": max |H u - f| = " << residual
+              << "\n";
+  }
+  std::cout << "\ntotal accelerator cycles: "
+            << formatThousands(system.totalCycles()) << "\n";
+  std::cout << "worst residual: " << worstResidual << " ("
+            << (worstResidual < 1e-8 ? "PASS" : "FAIL") << ")\n";
+  return worstResidual < 1e-8 ? 0 : 1;
+}

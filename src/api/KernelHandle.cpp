@@ -1,0 +1,118 @@
+#include "api/KernelHandle.h"
+
+#include "support/Error.h"
+
+namespace cfd::api {
+
+ArgumentPack& ArgumentPack::bind(const std::string& name,
+                                 std::span<double> data) {
+  mutableBuffers_[name] = data;
+  return *this;
+}
+
+ArgumentPack& ArgumentPack::bind(const std::string& name,
+                                 std::span<const double> data) {
+  constBuffers_[name] = data;
+  return *this;
+}
+
+bool ArgumentPack::has(const std::string& name) const {
+  return mutableBuffers_.count(name) != 0 || constBuffers_.count(name) != 0;
+}
+
+std::span<double> ArgumentPack::outputBuffer(const std::string& name) const {
+  const auto it = mutableBuffers_.find(name);
+  if (it == mutableBuffers_.end())
+    throw FlowError("output '" + name + "' is not bound to a mutable "
+                    "buffer");
+  return it->second;
+}
+
+std::span<const double>
+ArgumentPack::inputBuffer(const std::string& name) const {
+  if (const auto it = constBuffers_.find(name); it != constBuffers_.end())
+    return it->second;
+  if (const auto it = mutableBuffers_.find(name);
+      it != mutableBuffers_.end())
+    return it->second;
+  throw FlowError("input '" + name + "' is not bound");
+}
+
+KernelHandle KernelHandle::create(const std::string& source, Engine engine,
+                                  FlowOptions options) {
+  KernelHandle handle;
+  handle.flow_ = std::make_shared<Flow>(Flow::compile(source, options));
+  handle.engine_ = engine;
+  if (engine == Engine::SimulatedFpga)
+    handle.system_ = std::make_unique<rtl::SystemModel>(*handle.flow_);
+  return handle;
+}
+
+namespace {
+
+eval::DenseTensor toDense(const ir::Tensor& tensor,
+                          std::span<const double> data) {
+  if (static_cast<std::int64_t>(data.size()) != tensor.type.numElements())
+    throw FlowError("buffer for '" + tensor.name + "' has " +
+                    std::to_string(data.size()) + " elements, expected " +
+                    std::to_string(tensor.type.numElements()));
+  eval::DenseTensor dense = eval::DenseTensor::zeros(tensor.type.shape);
+  std::copy(data.begin(), data.end(), dense.data.begin());
+  return dense;
+}
+
+void fromDense(const eval::DenseTensor& dense, std::span<double> out) {
+  CFD_ASSERT(dense.data.size() == out.size(), "output size mismatch");
+  std::copy(dense.data.begin(), dense.data.end(), out.begin());
+}
+
+} // namespace
+
+void KernelHandle::invoke(const ArgumentPack& arguments) {
+  // Validate bindings up front for a friendly error surface.
+  for (const auto& tensor : flow_->program().tensors()) {
+    if (tensor.kind == ir::TensorKind::Input && !arguments.has(tensor.name))
+      throw FlowError("input '" + tensor.name + "' is not bound");
+    if (tensor.kind == ir::TensorKind::Output &&
+        !arguments.has(tensor.name))
+      throw FlowError("output '" + tensor.name + "' is not bound");
+  }
+  if (engine_ == Engine::Interpreter)
+    invokeInterpreter(arguments);
+  else
+    invokeSimulatedFpga(arguments);
+  ++invocations_;
+}
+
+void KernelHandle::invokeInterpreter(const ArgumentPack& arguments) {
+  const ir::Program& program = flow_->program();
+  eval::TensorStore store(program, flow_->schedule().layouts);
+  for (const auto& tensor : program.tensors())
+    if (tensor.kind == ir::TensorKind::Input)
+      store.import(tensor.id,
+                   toDense(tensor, arguments.inputBuffer(tensor.name)));
+  eval::execute(flow_->schedule(), store);
+  for (const auto& tensor : program.tensors())
+    if (tensor.kind == ir::TensorKind::Output)
+      fromDense(store.exportTensor(tensor.id),
+                arguments.outputBuffer(tensor.name));
+  lastCycles_ = flow_->kernelReport().totalCycles;
+}
+
+void KernelHandle::invokeSimulatedFpga(const ArgumentPack& arguments) {
+  const ir::Program& program = flow_->program();
+  // Single-element invocation: use PLM window 0 and run one round per
+  // batch (the host-side protocol of the generated driver).
+  for (const auto& tensor : program.tensors())
+    if (tensor.kind == ir::TensorKind::Input)
+      system_->writeArray(
+          0, tensor.name,
+          toDense(tensor, arguments.inputBuffer(tensor.name)));
+  lastCycles_ = system_->runIteration();
+  for (const auto& tensor : program.tensors())
+    if (tensor.kind == ir::TensorKind::Output)
+      fromDense(system_->readArray(0, tensor.name),
+                arguments.outputBuffer(tensor.name));
+}
+
+} // namespace cfd::api

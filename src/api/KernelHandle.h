@@ -1,0 +1,85 @@
+// Application integration (paper §III-B): "From the perspective of an
+// application developer, we enable a seamless integration of the
+// CFDlang in Fortran or C++ code. The kernel with the respective
+// accelerator is then called via a predefined function handle from the
+// surrounding application."
+//
+// KernelHandle is that function handle: the surrounding CFD application
+// compiles a CFDlang kernel once and then invokes it per element (or per
+// element batch) on raw row-major buffers, without seeing any of the
+// compiler/HLS machinery. Two execution engines are available:
+//
+//  * Engine::Interpreter — runs the scheduled kernel on the host (the
+//    software fallback / functional reference);
+//  * Engine::SimulatedFpga — routes every call through the
+//    transaction-level system model (rtl::SystemModel), i.e. through the
+//    PLM windows and the AXI-lite round protocol, exactly as the real
+//    accelerator deployment would.
+#pragma once
+
+#include "core/Flow.h"
+#include "rtl/SystemModel.h"
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace cfd::api {
+
+enum class Engine {
+  Interpreter,
+  SimulatedFpga,
+};
+
+/// A bound argument set for one kernel invocation: raw row-major host
+/// buffers keyed by CFDlang variable name.
+class ArgumentPack {
+public:
+  /// Binds `data` (row-major, caller-owned) to variable `name`.
+  ArgumentPack& bind(const std::string& name, std::span<double> data);
+  ArgumentPack& bind(const std::string& name,
+                     std::span<const double> data);
+
+  std::span<double> outputBuffer(const std::string& name) const;
+  std::span<const double> inputBuffer(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+private:
+  std::map<std::string, std::span<double>> mutableBuffers_;
+  std::map<std::string, std::span<const double>> constBuffers_;
+};
+
+/// The predefined function handle for one compiled CFDlang kernel.
+class KernelHandle {
+public:
+  /// Compiles `source` and prepares the chosen engine.
+  static KernelHandle create(const std::string& source,
+                             Engine engine = Engine::Interpreter,
+                             FlowOptions options = {});
+
+  const Flow& flow() const { return *flow_; }
+  Engine engine() const { return engine_; }
+
+  /// Runs the kernel once. All inputs must be bound; all outputs must be
+  /// bound with correctly sized buffers. Throws FlowError otherwise.
+  void invoke(const ArgumentPack& arguments);
+
+  /// Per-element statistics of the last invoke (engine dependent).
+  std::int64_t lastCycles() const { return lastCycles_; }
+  std::int64_t invocations() const { return invocations_; }
+
+private:
+  KernelHandle() = default;
+
+  void invokeInterpreter(const ArgumentPack& arguments);
+  void invokeSimulatedFpga(const ArgumentPack& arguments);
+
+  std::shared_ptr<Flow> flow_;
+  Engine engine_ = Engine::Interpreter;
+  std::unique_ptr<rtl::SystemModel> system_;
+  std::int64_t lastCycles_ = 0;
+  std::int64_t invocations_ = 0;
+};
+
+} // namespace cfd::api

@@ -1,0 +1,114 @@
+#include "core/Flow.h"
+
+#include "dsl/Parser.h"
+#include "ir/Transforms.h"
+#include "support/Error.h"
+
+namespace cfd {
+
+Flow Flow::compile(const std::string& source, FlowOptions options) {
+  Flow flow;
+  flow.options_ = options;
+
+  // Frontend: parse + semantic analysis (throws on diagnostics).
+  flow.ast_ = dsl::parseAndCheck(source);
+
+  // Step i: lowering into pseudo-SSA with contraction splitting, then
+  // canonicalization.
+  flow.program_ = std::make_unique<ir::Program>(
+      ir::lower(flow.ast_, options.lowering));
+  ir::canonicalize(*flow.program_);
+
+  // Step ii: reference schedule with materialized layouts.
+  flow.schedule_ =
+      sched::buildReferenceSchedule(*flow.program_, options.layouts);
+
+  // Step iii: Pluto-lite rescheduling.
+  sched::reschedule(flow.schedule_, options.reschedule);
+
+  // Step iv: liveness and memory compatibility. HLS unrolling demands a
+  // matching multi-bank memory architecture (paper §V-A2).
+  flow.liveness_ = mem::analyzeLiveness(flow.schedule_);
+  flow.graph_ = mem::buildCompatibilityGraph(flow.schedule_, flow.liveness_);
+  mem::MemoryPlanOptions memoryOptions = options.memory;
+  memoryOptions.banks = std::max(memoryOptions.banks,
+                                 options.hls.unrollFactor);
+  flow.plan_ = mem::planMemory(flow.schedule_, flow.graph_, memoryOptions);
+
+  // HLS + system generation.
+  flow.kernel_ = hls::analyzeKernel(flow.schedule_, flow.plan_, options.hls);
+  flow.system_ = sysgen::generateSystem(flow.kernel_, flow.plan_,
+                                        flow.schedule_, options.system);
+  return flow;
+}
+
+std::string Flow::cCode() const {
+  codegen::CEmitterOptions emitterOptions = options_.emitter;
+  emitterOptions.unrollFactor =
+      std::max(emitterOptions.unrollFactor, options_.hls.unrollFactor);
+  return codegen::emitC(schedule_, emitterOptions);
+}
+
+std::string Flow::kernelPrototype() const {
+  return codegen::emitPrototype(schedule_, options_.emitter);
+}
+
+std::string Flow::mnemosyneConfig() const {
+  return mem::emitMnemosyneConfig(schedule_, graph_, liveness_);
+}
+
+std::string Flow::hostCode() const {
+  return sysgen::emitHostCode(system_, schedule_);
+}
+
+std::string Flow::compatibilityDot() const { return graph_.dot(*program_); }
+
+sim::SimResult Flow::simulate(sim::SimOptions simOptions) const {
+  return sim::simulateSystem(system_, kernel_, simOptions);
+}
+
+double Flow::validate(std::uint64_t seed) const {
+  std::map<std::string, eval::DenseTensor> reference;
+  eval::TensorStore store(*program_, schedule_.layouts);
+  for (const auto& tensor : program_->tensors()) {
+    if (tensor.kind != ir::TensorKind::Input)
+      continue;
+    const eval::DenseTensor value =
+        eval::makeTestInput(tensor.type.shape, seed++);
+    reference[tensor.name] = value;
+    store.import(tensor.id, value);
+  }
+  eval::evaluateReference(ast_, reference);
+  eval::execute(schedule_, store);
+  double maxError = 0.0;
+  for (const auto& tensor : program_->tensors()) {
+    if (tensor.kind != ir::TensorKind::Output)
+      continue;
+    maxError = std::max(maxError,
+                        eval::maxAbsDifference(store.exportTensor(tensor.id),
+                                               reference.at(tensor.name)));
+  }
+  return maxError;
+}
+
+eval::OpCounts
+Flow::softwareCounts(sched::ScheduleObjective objective) const {
+  // Re-derive a schedule under the requested objective; Hardware yields
+  // the loop structure of the HLS input C code, Software the CPU
+  // reference implementation.
+  sched::Schedule variant =
+      sched::buildReferenceSchedule(*program_, options_.layouts);
+  sched::RescheduleOptions rescheduleOptions = options_.reschedule;
+  rescheduleOptions.objective = objective;
+  sched::reschedule(variant, rescheduleOptions);
+
+  eval::TensorStore store(*program_, variant.layouts);
+  std::uint64_t seed = 1;
+  for (const auto& tensor : program_->tensors())
+    if (tensor.kind == ir::TensorKind::Input)
+      store.import(tensor.id,
+                   eval::makeTestInput(tensor.type.shape, seed++));
+  return eval::execute(variant, store);
+}
+
+} // namespace cfd

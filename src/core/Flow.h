@@ -1,0 +1,96 @@
+// End-to-end CFDlang-to-FPGA flow (paper Fig. 3) — the library's main
+// public API.
+//
+//   Flow flow = Flow::compile(source);              // full pipeline
+//   std::string c99   = flow.cCode();               // HLS input
+//   std::string cfg   = flow.mnemosyneConfig();     // memory metadata
+//   std::string host  = flow.hostCode();            // host control code
+//   auto result = flow.simulate({.numElements = 50000});
+//   double err  = flow.validate();                  // vs Eq. 1 semantics
+//
+// Pipeline stages (each result stays inspectable on the Flow object):
+//   CFDlang source -> AST -> tensor IR (pseudo-SSA, contraction split)
+//   -> reference schedule -> layout materialization -> Pluto-lite
+//   reschedule -> { C99 emission, liveness -> compatibility graph ->
+//   Mnemosyne-lite memory plan } -> HLS model -> system generation ->
+//   platform simulation.
+#pragma once
+
+#include "codegen/CEmitter.h"
+#include "dsl/AST.h"
+#include "eval/Evaluator.h"
+#include "hls/HlsModel.h"
+#include "ir/Lowering.h"
+#include "mem/Mnemosyne.h"
+#include "sched/Reschedule.h"
+#include "sim/PlatformSim.h"
+#include "sysgen/SystemGenerator.h"
+
+#include <memory>
+#include <string>
+
+namespace cfd {
+
+struct FlowOptions {
+  ir::LoweringOptions lowering;
+  sched::LayoutOptions layouts;
+  sched::RescheduleOptions reschedule; // default: Hardware objective
+  mem::MemoryPlanOptions memory;
+  hls::HlsOptions hls;
+  sysgen::SystemOptions system;
+  codegen::CEmitterOptions emitter;
+};
+
+class Flow {
+public:
+  /// Runs the whole compilation pipeline. Throws FlowError on invalid
+  /// input or infeasible constraints.
+  static Flow compile(const std::string& source, FlowOptions options = {});
+
+  // ---- Stage results ----
+  const dsl::Program& ast() const { return ast_; }
+  const ir::Program& program() const { return *program_; }
+  const sched::Schedule& schedule() const { return schedule_; }
+  const mem::LivenessInfo& liveness() const { return liveness_; }
+  const mem::CompatibilityGraph& compatibilityGraph() const {
+    return graph_;
+  }
+  const mem::MemoryPlan& memoryPlan() const { return plan_; }
+  const hls::KernelReport& kernelReport() const { return kernel_; }
+  const sysgen::SystemDesign& systemDesign() const { return system_; }
+  const FlowOptions& options() const { return options_; }
+
+  // ---- Generated artifacts ----
+  std::string cCode() const;
+  std::string kernelPrototype() const;
+  std::string mnemosyneConfig() const;
+  std::string hostCode() const;
+  std::string compatibilityDot() const;
+
+  // ---- Execution ----
+  /// Simulates the generated system.
+  sim::SimResult simulate(sim::SimOptions simOptions = {}) const;
+
+  /// Interprets the hardware schedule on random inputs and compares
+  /// against the direct reference semantics; returns the max |error|.
+  double validate(std::uint64_t seed = 1) const;
+
+  /// Dynamic op counts of one element under the given CPU objective
+  /// (Software = the paper's "SW Ref.", Hardware = "SW HLS code").
+  eval::OpCounts softwareCounts(sched::ScheduleObjective objective) const;
+
+private:
+  Flow() = default;
+
+  dsl::Program ast_;
+  std::unique_ptr<ir::Program> program_;
+  sched::Schedule schedule_;
+  mem::LivenessInfo liveness_;
+  mem::CompatibilityGraph graph_;
+  mem::MemoryPlan plan_;
+  hls::KernelReport kernel_;
+  sysgen::SystemDesign system_;
+  FlowOptions options_;
+};
+
+} // namespace cfd

@@ -1,0 +1,63 @@
+// Recursive-descent parser for CFDlang.
+//
+// Grammar (see Lexer.h for token syntax):
+//
+//   program     := (typeDecl | varDecl | assignment)*
+//   typeDecl    := 'type' IDENT ':' shape
+//   varDecl     := 'var' ('input' | 'output')? IDENT ':' (shape | IDENT)
+//   shape       := '[' INT* ']'
+//   assignment  := IDENT '=' expr
+//   expr        := term (('+' | '-') term)*
+//   term        := factor (('*' | '/') factor)*
+//   factor      := product ('.' pairList)?
+//   product     := primary ('#' primary)*
+//   primary     := IDENT | NUMBER | '(' expr ')'
+//   pairList    := '[' ('[' INT INT ']')+ ']'
+//
+// Contraction binds tighter than entry-wise operators, so
+// `D * S # S # S # u . [[..]]` parses as D ∘ contraction(product).
+#pragma once
+
+#include "dsl/AST.h"
+#include "dsl/Lexer.h"
+
+namespace cfd::dsl {
+
+class Parser {
+public:
+  Parser(std::string_view source, Diagnostics& diagnostics);
+
+  /// Parses a whole translation unit. On syntax errors, diagnostics are
+  /// recorded and a best-effort partial program is returned.
+  Program parseProgram();
+
+private:
+  const Token& current() const;
+  const Token& peekNext() const;
+  Token consume();
+  bool match(TokenKind kind);
+  Token expect(TokenKind kind, const char* context);
+  void synchronize();
+
+  void parseTypeDecl(Program& program);
+  void parseVarDecl(Program& program);
+  void parseAssignment(Program& program);
+  std::vector<std::int64_t> parseShape();
+  std::vector<std::int64_t> parseShapeOrTypeName(const Program& program);
+  ExprPtr parseExpr();
+  ExprPtr parseTerm();
+  ExprPtr parseFactor();
+  ExprPtr parseProduct();
+  ExprPtr parsePrimary();
+  std::vector<IndexPair> parsePairList();
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+  Diagnostics& diagnostics_;
+};
+
+/// Convenience wrapper: lex + parse + sema in one call; throws FlowError
+/// on any error.
+Program parseAndCheck(std::string_view source);
+
+} // namespace cfd::dsl

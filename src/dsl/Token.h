@@ -1,0 +1,52 @@
+// Token definitions for the CFDlang lexer.
+#pragma once
+
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cfd::dsl {
+
+enum class TokenKind {
+  // Punctuation and operators.
+  LBracket,   // [
+  RBracket,   // ]
+  LParen,     // (
+  RParen,     // )
+  Colon,      // :
+  Equal,      // =
+  Plus,       // +
+  Minus,      // -
+  Star,       // *  (entry-wise / Hadamard product)
+  Slash,      // /  (entry-wise division)
+  Hash,       // #  (tensor / outer product)
+  Dot,        // .  (contraction specifier)
+  // Keywords.
+  KwVar,      // var
+  KwInput,    // input
+  KwOutput,   // output
+  KwType,     // type
+  // Literals and identifiers.
+  Identifier,
+  IntegerLiteral,
+  FloatLiteral,
+  // Sentinels.
+  EndOfFile,
+  Invalid,
+};
+
+const char* tokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::Invalid;
+  std::string text;
+  SourceLocation location;
+  std::int64_t intValue = 0;
+  double floatValue = 0.0;
+
+  bool is(TokenKind k) const { return kind == k; }
+  std::string str() const;
+};
+
+} // namespace cfd::dsl

@@ -1,0 +1,83 @@
+// Calibrated physical constants of the performance/resource models
+// (DESIGN.md §4). This is the single place where numbers tied to the
+// paper's platform (ZCU106, Vivado HLS 2019.2, 200 MHz kernels, 1.2 GHz
+// Cortex-A53) live. Everything else in the flow *predicts* from these.
+#pragma once
+
+#include <cstdint>
+
+namespace cfd::hls {
+
+// ---- Clocks (paper §VI) ----
+inline constexpr double kKernelClockMHz = 200.0;
+inline constexpr double kCpuClockMHz = 1200.0; // "6x faster than kernels"
+
+// ---- FPGA device: xczu7ev on the ZCU106 (public specs) ----
+struct DeviceResources {
+  int lut = 230400;
+  int ff = 460800;
+  int dsp = 1728;
+  int bram36 = 312;
+};
+inline constexpr DeviceResources kZu7ev{};
+
+// ---- Floating-point operator library (double precision @ 200 MHz) ----
+// LUT/FF/DSP and pipeline latency per operator instance. Calibrated so
+// the Inverse Helmholtz kernel_body lands on the paper's reported
+// 2,314 LUT / 2,999 FF / 15 DSP.
+struct FpuCosts {
+  int lut;
+  int ff;
+  int dsp;
+  int latency; // pipeline stages
+};
+inline constexpr FpuCosts kDMul{750, 1100, 11, 8};
+inline constexpr FpuCosts kDAdd{650, 800, 3, 5};
+inline constexpr FpuCosts kDDiv{3180, 3640, 0, 29};
+
+// ---- HLS control / address-generation structure costs ----
+inline constexpr int kCtrlBaseLut = 150;  // top FSM, start/done handshake
+inline constexpr int kCtrlBaseFf = 200;
+inline constexpr int kPerLoopNestLut = 30; // counters, bounds, state
+inline constexpr int kPerLoopNestFf = 30;
+inline constexpr int kPerAccessLut = 14;   // address adders per mem port
+inline constexpr int kPerAccessFf = 18;
+inline constexpr int kIndexArithmeticDsp = 1; // wide index multiply
+
+// ---- Memory timing ----
+inline constexpr int kBramReadLatency = 2;  // registered BRAM output
+inline constexpr int kBramWriteLatency = 1;
+inline constexpr int kLoopFlattenOverhead = 2; // pipeline flush at exit
+
+// ---- System integration (fit to Table I, see DESIGN.md §4) ----
+// Base AXI/DMA/control infrastructure and per-replica integration logic
+// on top of the kernel itself.
+inline constexpr int kInfraBaseLut = 6924;
+inline constexpr int kInfraBaseFf = 6488;
+inline constexpr int kPerReplicaIntegrationLut = 2076; // PLM ctrl + routing
+inline constexpr int kPerReplicaIntegrationFf = 59;
+inline constexpr int kPerBufferRoutingLut = 20; // per extra PLM buffer
+
+// ---- Host <-> PLM transfers ----
+// Effective bandwidth of the CPU-driven AXI HP path (256-bit @ 200 MHz,
+// ~63% efficiency).
+inline constexpr double kAxiBandwidthGBs = 4.0;
+// Per-round control overhead: AXI-lite start broadcast + sequential
+// done-aggregation per accelerator (kernel-clock cycles).
+inline constexpr std::int64_t kRoundBaseOverheadCycles = 220;
+inline constexpr std::int64_t kPerKernelDoneCycles = 90;
+
+// ---- ARM Cortex-A53 timing model (in-order, scalar doubles) ----
+// Cycles per dynamic operation of the interpreted kernel; calibrated to
+// ~4.2 cycles per multiply-accumulate for the reference loop nest.
+struct CpuCosts {
+  double fmul = 1.0;
+  double fadd = 1.0;
+  double fdiv = 18.0;
+  double load = 1.0;
+  double store = 0.7;
+  double loopIteration = 0.5; // branch + index update amortized
+};
+inline constexpr CpuCosts kCortexA53{};
+
+} // namespace cfd::hls

@@ -1,0 +1,178 @@
+#include "hls/HlsModel.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <sstream>
+
+namespace cfd::hls {
+
+Resources& Resources::operator+=(const Resources& other) {
+  lut += other.lut;
+  ff += other.ff;
+  dsp += other.dsp;
+  bram36 += other.bram36;
+  return *this;
+}
+
+Resources Resources::operator*(int factor) const {
+  return Resources{lut * factor, ff * factor, dsp * factor,
+                   bram36 * factor};
+}
+
+std::string Resources::str() const {
+  std::ostringstream os;
+  os << formatThousands(lut) << " LUT, " << formatThousands(ff) << " FF, "
+     << dsp << " DSP, " << bram36 << " BRAM36";
+  return os.str();
+}
+
+KernelReport analyzeKernel(const sched::Schedule& schedule,
+                           const mem::MemoryPlan& plan,
+                           const HlsOptions& options) {
+  CFD_ASSERT(schedule.program != nullptr, "schedule without program");
+  const ir::Program& program = *schedule.program;
+  KernelReport report;
+  report.clockMHz = options.clockMHz;
+
+  // ---- Operator binding: which shared FPU instances the kernel needs.
+  bool needsMul = false, needsAdd = false, needsDiv = false;
+  for (const auto& stmt : schedule.statements) {
+    switch (stmt.kind) {
+    case ir::OpKind::Contract:
+      needsMul = true;
+      if (stmt.needsInit)
+        needsAdd = true;
+      break;
+    case ir::OpKind::EntryWise:
+      if (stmt.entryWise == ir::EntryWiseKind::Mul)
+        needsMul = true;
+      else if (stmt.entryWise == ir::EntryWiseKind::Div)
+        needsDiv = true;
+      else
+        needsAdd = true;
+      break;
+    case ir::OpKind::Copy:
+    case ir::OpKind::Fill:
+      break;
+    }
+  }
+
+  CFD_ASSERT(options.unrollFactor >= 1 &&
+                 (options.unrollFactor & (options.unrollFactor - 1)) == 0,
+             "unroll factor must be a power of two");
+  const int unroll = options.unrollFactor;
+
+  // ---- Per-statement pipeline timing.
+  int loopNests = 0;
+  int memAccesses = 0;
+  for (const auto& stmt : schedule.statements) {
+    StatementTiming timing;
+    timing.name = stmt.name;
+    timing.tripCount = stmt.tripCount();
+
+    int depth = kBramReadLatency + kBramWriteLatency;
+    switch (stmt.kind) {
+    case ir::OpKind::Contract:
+      depth += kDMul.latency;
+      if (stmt.needsInit)
+        depth += kDAdd.latency;
+      break;
+    case ir::OpKind::EntryWise:
+      depth += stmt.entryWise == ir::EntryWiseKind::Mul ? kDMul.latency
+               : stmt.entryWise == ir::EntryWiseKind::Div
+                   ? kDDiv.latency
+                   : kDAdd.latency;
+      break;
+    case ir::OpKind::Copy:
+    case ir::OpKind::Fill:
+      break;
+    }
+    timing.pipelineDepth = depth;
+
+    int ii = options.requestedII;
+    if (const auto dependence = sched::accumulatorSelfDependence(stmt)) {
+      if (stmt.innermostIsReduction()) {
+        // Register accumulator carried every iteration.
+        ii = std::max(ii, kDAdd.latency);
+      } else {
+        // PLM read-modify-write recurrence; resolved when the same
+        // element is revisited no sooner than the accumulate latency.
+        const std::int64_t distance = dependence->flattenedDistance;
+        const int rmwLatency =
+            kBramReadLatency + kDAdd.latency + kBramWriteLatency;
+        ii = std::max<int>(
+            ii, static_cast<int>((rmwLatency + distance - 1) / distance));
+      }
+    }
+    timing.ii = ii;
+    // Unrolling processes `unroll` innermost iterations per initiation;
+    // the RMW recurrence of the accumulate path is unaffected (distinct
+    // banks hold distinct output elements).
+    const std::int64_t initiations =
+        (timing.tripCount + unroll - 1) / unroll;
+    timing.cycles = depth + static_cast<std::int64_t>(ii) *
+                                (initiations - 1) +
+                    kLoopFlattenOverhead;
+    ++loopNests;
+    memAccesses +=
+        (static_cast<int>(stmt.reads.size()) + 1) * unroll;
+
+    if (stmt.needsInit) {
+      const std::int64_t initTrip =
+          program.tensor(stmt.write.tensor).type.numElements();
+      timing.initCycles = kBramWriteLatency +
+                          (initTrip + unroll - 1) / unroll - 1 +
+                          kLoopFlattenOverhead;
+      ++loopNests;
+      memAccesses += unroll;
+    }
+    report.totalCycles += timing.cycles + timing.initCycles;
+    report.statements.push_back(std::move(timing));
+  }
+
+  // ---- Structural resource roll-up. The datapath replicates with the
+  // unroll factor; control logic is shared.
+  Resources res;
+  if (needsMul) {
+    res.lut += kDMul.lut * unroll;
+    res.ff += kDMul.ff * unroll;
+    res.dsp += kDMul.dsp * unroll;
+  }
+  if (needsAdd) {
+    res.lut += kDAdd.lut * unroll;
+    res.ff += kDAdd.ff * unroll;
+    res.dsp += kDAdd.dsp * unroll;
+  }
+  if (needsDiv) {
+    res.lut += kDDiv.lut * unroll;
+    res.ff += kDDiv.ff * unroll;
+    res.dsp += kDDiv.dsp * unroll;
+  }
+  res.lut += kCtrlBaseLut + loopNests * kPerLoopNestLut +
+             memAccesses * kPerAccessLut;
+  res.ff += kCtrlBaseFf + loopNests * kPerLoopNestFf +
+            memAccesses * kPerAccessFf;
+  res.dsp += kIndexArithmeticDsp;
+  res.bram36 = plan.acceleratorBram36();
+  report.resources = res;
+  return report;
+}
+
+std::string KernelReport::str() const {
+  std::ostringstream os;
+  os << "kernel: " << resources.str() << ", " << formatThousands(totalCycles)
+     << " cycles @ " << clockMHz << " MHz = " << formatFixed(timeUs(), 1)
+     << " us\n";
+  for (const auto& stmt : statements) {
+    os << "  " << stmt.name << ": trip=" << stmt.tripCount
+       << " II=" << stmt.ii << " depth=" << stmt.pipelineDepth
+       << " cycles=" << formatThousands(stmt.cycles);
+    if (stmt.initCycles > 0)
+      os << " (+init " << formatThousands(stmt.initCycles) << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+} // namespace cfd::hls

@@ -1,0 +1,80 @@
+// High-level synthesis model (paper §V-A1).
+//
+// Replaces Vivado HLS 2019.2 in this reproduction: given a hardware-
+// scheduled kernel and its memory plan, the model performs what the HLS
+// scheduler would decide for this code shape and reports
+//
+//  * cycle-accurate-ish latency: innermost loops are pipelined; perfect
+//    nests are flattened into a single pipeline; the initiation interval
+//    is limited by loop-carried read-modify-write recurrences through
+//    the floating-point adder (which is precisely why the Pluto-lite
+//    rescheduler keeps reductions out of the innermost loop);
+//  * post-synthesis resources: one shared double-precision operator
+//    instance per kind (HLS binds sequential loops to the same FPU),
+//    plus structural control/address logic. Constants are calibrated
+//    once against the paper's reported kernel (2,314 LUT / 2,999 FF /
+//    15 DSP, Calibration.h); every other configuration is a prediction.
+#pragma once
+
+#include "hls/Calibration.h"
+#include "mem/Mnemosyne.h"
+#include "sched/Schedule.h"
+
+#include <string>
+#include <vector>
+
+namespace cfd::hls {
+
+struct Resources {
+  int lut = 0;
+  int ff = 0;
+  int dsp = 0;
+  int bram36 = 0;
+
+  Resources& operator+=(const Resources& other);
+  Resources operator*(int factor) const;
+  std::string str() const;
+};
+
+struct HlsOptions {
+  double clockMHz = kKernelClockMHz;
+  int requestedII = 1;
+  /// Unroll factor of the innermost pipelined loop (paper §V-A1: "Array
+  /// partitioning can be also applied to increase the parallelism,
+  /// demanding multi-port memories"). The datapath is replicated
+  /// `unrollFactor` times and every PLM buffer is split into that many
+  /// cyclic banks (mem::MemoryPlanOptions::banks must match).
+  int unrollFactor = 1;
+};
+
+/// Timing of one scheduled statement (plus its init loop if any).
+struct StatementTiming {
+  std::string name;
+  std::int64_t tripCount = 0;
+  int ii = 1;            // achieved initiation interval
+  int pipelineDepth = 0;
+  std::int64_t cycles = 0;      // main nest
+  std::int64_t initCycles = 0;  // zero-initialization loop
+};
+
+/// HLS report for one accelerator (kernel_body).
+struct KernelReport {
+  Resources resources;          // logic of the accelerator itself
+  std::vector<StatementTiming> statements;
+  std::int64_t totalCycles = 0; // one element execution
+  double clockMHz = kKernelClockMHz;
+
+  double timeUs() const {
+    return static_cast<double>(totalCycles) / clockMHz;
+  }
+  std::string str() const;
+};
+
+/// Analyzes `schedule` as Vivado HLS would synthesize the emitted C99.
+/// `plan` supplies the accelerator-internal BRAM count (non-decoupled
+/// temporaries).
+KernelReport analyzeKernel(const sched::Schedule& schedule,
+                           const mem::MemoryPlan& plan,
+                           const HlsOptions& options = {});
+
+} // namespace cfd::hls

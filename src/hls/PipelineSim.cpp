@@ -1,0 +1,106 @@
+#include "hls/PipelineSim.h"
+
+#include "hls/Calibration.h"
+#include "support/Error.h"
+
+#include <map>
+
+namespace cfd::hls {
+
+PipelineSimResult simulatePipeline(const sched::Schedule& schedule,
+                                   const sched::ScheduledStatement& stmt,
+                                   int requestedII) {
+  CFD_ASSERT(schedule.program != nullptr, "schedule without program");
+  CFD_ASSERT(requestedII >= 1, "II must be positive");
+
+  // Pipeline stage offsets relative to the issue cycle.
+  int computeLatency = 0;
+  switch (stmt.kind) {
+  case ir::OpKind::Contract:
+    computeLatency = kDMul.latency + (stmt.needsInit ? kDAdd.latency : 0);
+    break;
+  case ir::OpKind::EntryWise:
+    computeLatency = stmt.entryWise == ir::EntryWiseKind::Mul
+                         ? kDMul.latency
+                         : stmt.entryWise == ir::EntryWiseKind::Div
+                               ? kDDiv.latency
+                               : kDAdd.latency;
+    break;
+  case ir::OpKind::Copy:
+  case ir::OpKind::Fill:
+    computeLatency = 0;
+    break;
+  }
+  const int readStage = kBramReadLatency;
+  const int writeStage = readStage + computeLatency + kBramWriteLatency;
+  // HLS schedules the accumulator load as late as possible: the target
+  // value is only needed when the adder starts, i.e. after the multiply.
+  // The effective RMW turnaround is therefore read + add + write — the
+  // same recurrence the analytic model uses.
+  const int accumulatorReadStage =
+      readStage + (stmt.kind == ir::OpKind::Contract ? kDMul.latency : 0);
+
+  const bool rmw = stmt.kind == ir::OpKind::Contract && stmt.needsInit &&
+                   !stmt.innermostIsReduction();
+  const bool registerAcc = stmt.kind == ir::OpKind::Contract &&
+                           stmt.needsInit && stmt.innermostIsReduction();
+
+  const poly::AffineMap writeFlat =
+      schedule.layouts.layoutOf(stmt.write.tensor)
+          .map.compose(stmt.write.map);
+
+  std::vector<std::int64_t> extents;
+  for (const auto& loop : stmt.loops)
+    extents.push_back(loop.extent);
+
+  PipelineSimResult result;
+  std::map<std::int64_t, std::int64_t> writeDone; // address -> cycle
+  std::int64_t issue = 0;
+  std::int64_t firstIssue = -1;
+  std::int64_t lastRetire = 0;
+  std::int64_t lastIssue = 0;
+  std::int64_t previousOffset = -1;
+
+  poly::Box::fromShape(extents).forEachPoint(
+      [&](std::span<const std::int64_t> point) {
+        const std::int64_t offset = writeFlat.evaluate(point)[0];
+        std::int64_t earliest =
+            result.iterations == 0 ? 0 : lastIssue + requestedII;
+        if (rmw) {
+          // The accumulator read (at issue + accumulatorReadStage) must
+          // not happen before the previous write to the same address
+          // completes.
+          const auto it = writeDone.find(offset);
+          if (it != writeDone.end())
+            earliest = std::max(earliest,
+                                it->second - accumulatorReadStage);
+        } else if (registerAcc && offset == previousOffset &&
+                   result.iterations > 0) {
+          // Register accumulator: the adder result must be available
+          // before the next accumulation into the same register issues.
+          earliest = std::max(earliest, lastIssue + kDAdd.latency);
+        }
+        result.stallCycles +=
+            result.iterations == 0
+                ? 0
+                : earliest - (lastIssue + requestedII);
+        issue = earliest;
+        if (firstIssue < 0)
+          firstIssue = issue;
+        lastIssue = issue;
+        writeDone[offset] = issue + writeStage;
+        lastRetire = std::max(lastRetire, issue + writeStage);
+        previousOffset = offset;
+        ++result.iterations;
+      });
+
+  result.cycles = result.iterations == 0 ? 0 : lastRetire - firstIssue + 1;
+  result.achievedII =
+      result.iterations > 1
+          ? static_cast<double>(lastIssue - firstIssue) /
+                static_cast<double>(result.iterations - 1)
+          : 1.0;
+  return result;
+}
+
+} // namespace cfd::hls

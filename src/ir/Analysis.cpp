@@ -1,0 +1,106 @@
+#include "ir/Analysis.h"
+
+namespace cfd::ir {
+
+OpWork& OpWork::operator+=(const OpWork& other) {
+  fmul += other.fmul;
+  fadd += other.fadd;
+  fdiv += other.fdiv;
+  loads += other.loads;
+  stores += other.stores;
+  iterations += other.iterations;
+  return *this;
+}
+
+OpWork workOf(const Program& program, const Operation& op) {
+  OpWork work;
+  const std::int64_t points = program.domain(op).size();
+  work.iterations = points;
+  switch (op.kind) {
+  case OpKind::Contract:
+    if (op.pairs.empty()) {
+      // Outer product: one multiply per point; the target is stored once.
+      work.fmul = points;
+      work.loads = 2 * points;
+      work.stores = points;
+    } else {
+      // Multiply-accumulate per reduction point; the accumulator is
+      // register-allocated, stores happen once per output element.
+      work.fmul = points;
+      work.fadd = points;
+      work.loads = 2 * points;
+      std::int64_t outPoints = points;
+      for (std::size_t q = 0; q < op.pairs.size(); ++q) {
+        const auto& lhsShape = program.tensor(op.lhs).type.shape;
+        outPoints /= lhsShape[static_cast<std::size_t>(op.pairs[q].first)];
+      }
+      work.stores = outPoints;
+    }
+    break;
+  case OpKind::EntryWise:
+    if (op.entryWise == EntryWiseKind::Div)
+      work.fdiv = points;
+    else if (op.entryWise == EntryWiseKind::Mul)
+      work.fmul = points;
+    else
+      work.fadd = points;
+    work.loads = 2 * points;
+    work.stores = points;
+    break;
+  case OpKind::Copy:
+    work.loads = points;
+    work.stores = points;
+    break;
+  case OpKind::Fill:
+    work.stores = points;
+    break;
+  }
+  return work;
+}
+
+OpWork totalWork(const Program& program) {
+  OpWork total;
+  for (const auto& op : program.operations())
+    total += workOf(program, op);
+  return total;
+}
+
+std::map<TensorId, std::set<TensorId>>
+transitiveOperandSets(const Program& program) {
+  std::map<TensorId, std::set<TensorId>> result;
+  for (const auto& tensor : program.tensors())
+    result[tensor.id] = {};
+  for (const auto& op : program.operations()) {
+    std::set<TensorId>& deps = result[op.target];
+    for (const auto& read : program.readAccesses(op)) {
+      deps.insert(read.tensor);
+      const auto& upstream = result[read.tensor];
+      deps.insert(upstream.begin(), upstream.end());
+    }
+  }
+  return result;
+}
+
+std::map<TensorId, int> definingStatement(const Program& program) {
+  std::map<TensorId, int> result;
+  for (const auto& tensor : program.tensors())
+    result[tensor.id] = -1;
+  const auto& ops = program.operations();
+  for (std::size_t i = 0; i < ops.size(); ++i)
+    result[ops[i].target] = static_cast<int>(i);
+  return result;
+}
+
+std::map<TensorId, std::vector<int>>
+readingStatements(const Program& program) {
+  std::map<TensorId, std::vector<int>> result;
+  for (const auto& tensor : program.tensors())
+    result[tensor.id] = {};
+  const auto& ops = program.operations();
+  for (std::size_t i = 0; i < ops.size(); ++i)
+    for (const auto& read : program.readAccesses(ops[i]))
+      result[read.tensor].push_back(static_cast<int>(i));
+  return result;
+}
+
+} // namespace cfd::ir

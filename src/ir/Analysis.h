@@ -1,0 +1,43 @@
+// Analyses over the tensor IR consumed by scheduling, memory optimization
+// and the performance models.
+#pragma once
+
+#include "ir/TensorIR.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace cfd::ir {
+
+/// Floating-point work of one statement.
+struct OpWork {
+  std::int64_t fmul = 0;
+  std::int64_t fadd = 0;
+  std::int64_t fdiv = 0;
+  std::int64_t loads = 0;
+  std::int64_t stores = 0;
+  std::int64_t iterations = 0; // inner-domain points
+
+  OpWork& operator+=(const OpWork& other);
+};
+
+/// Measures the work performed by `op` over its full inner domain.
+OpWork workOf(const Program& program, const Operation& op);
+
+/// Total work over the whole program.
+OpWork totalWork(const Program& program);
+
+/// Tensor-level dataflow: for each tensor, the set of tensors whose values
+/// (transitively) flow into it — the paper's transitive operand map at
+/// array granularity (§IV-B).
+std::map<TensorId, std::set<TensorId>>
+transitiveOperandSets(const Program& program);
+
+/// Index of the statement writing each tensor (-1 for inputs).
+std::map<TensorId, int> definingStatement(const Program& program);
+
+/// Indices of statements reading each tensor.
+std::map<TensorId, std::vector<int>> readingStatements(const Program& program);
+
+} // namespace cfd::ir

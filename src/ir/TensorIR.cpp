@@ -1,0 +1,372 @@
+#include "ir/TensorIR.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace cfd::ir {
+
+std::int64_t TensorType::numElements() const {
+  std::int64_t n = 1;
+  for (std::int64_t extent : shape)
+    n *= extent;
+  return n;
+}
+
+std::string TensorType::str() const { return formatShape(shape); }
+
+const char* tensorKindName(TensorKind kind) {
+  switch (kind) {
+  case TensorKind::Input:
+    return "input";
+  case TensorKind::Output:
+    return "output";
+  case TensorKind::Local:
+    return "local";
+  case TensorKind::Transient:
+    return "transient";
+  }
+  return "unknown";
+}
+
+const char* entryWiseKindName(EntryWiseKind kind) {
+  switch (kind) {
+  case EntryWiseKind::Add:
+    return "+";
+  case EntryWiseKind::Sub:
+    return "-";
+  case EntryWiseKind::Mul:
+    return "*";
+  case EntryWiseKind::Div:
+    return "/";
+  }
+  return "?";
+}
+
+TensorId Program::addTensor(std::string name, TensorKind kind,
+                            TensorType type) {
+  CFD_ASSERT(findTensor(name) == nullptr, "duplicate tensor name " + name);
+  Tensor tensor;
+  tensor.id = static_cast<TensorId>(tensors_.size());
+  tensor.name = std::move(name);
+  tensor.kind = kind;
+  tensor.type = std::move(type);
+  tensors_.push_back(std::move(tensor));
+  return tensors_.back().id;
+}
+
+TensorId Program::addTransient(TensorType type) {
+  std::string name;
+  do {
+    name = "t" + std::to_string(nextTransient_++);
+  } while (findTensor(name) != nullptr);
+  return addTensor(std::move(name), TensorKind::Transient, std::move(type));
+}
+
+void Program::addOperation(Operation op) {
+  operations_.push_back(std::move(op));
+}
+
+const Tensor& Program::tensor(TensorId id) const {
+  CFD_ASSERT(id >= 0 && id < static_cast<TensorId>(tensors_.size()),
+             "tensor id out of range");
+  return tensors_[static_cast<std::size_t>(id)];
+}
+
+const Tensor* Program::findTensor(const std::string& name) const {
+  for (const auto& tensor : tensors_)
+    if (tensor.name == name)
+      return &tensor;
+  return nullptr;
+}
+
+std::vector<TensorId> Program::interfaceOrder() const {
+  std::vector<TensorId> order;
+  for (TensorKind kind : {TensorKind::Input, TensorKind::Output,
+                          TensorKind::Local, TensorKind::Transient})
+    for (const auto& tensor : tensors_)
+      if (tensor.kind == kind)
+        order.push_back(tensor.id);
+  return order;
+}
+
+void Program::dropUnusedTensors() {
+  std::set<TensorId> used;
+  for (const auto& op : operations_) {
+    used.insert(op.target);
+    if (op.kind == OpKind::Contract) {
+      used.insert(op.lhs);
+      used.insert(op.rhs);
+    } else if (op.kind == OpKind::EntryWise) {
+      used.insert(op.lhs);
+      used.insert(op.rhs);
+    } else if (op.kind == OpKind::Copy) {
+      used.insert(op.lhs);
+    }
+  }
+  // Interface tensors are always part of the kernel contract.
+  std::vector<Tensor> kept;
+  for (const auto& tensor : tensors_)
+    if (tensor.isInterface() || used.count(tensor.id))
+      kept.push_back(tensor);
+  // Ids must remain stable; keep the vector sparse-compatible by only
+  // dropping from the end when safe. Simplest correct approach: keep all
+  // tensors whose id is referenced, and physically remove only trailing
+  // unused ones.
+  while (!tensors_.empty()) {
+    const Tensor& last = tensors_.back();
+    if (last.isInterface() || used.count(last.id))
+      break;
+    tensors_.pop_back();
+  }
+}
+
+namespace {
+
+std::vector<int> freeDims(int rank, const std::vector<int>& bound) {
+  std::vector<int> result;
+  for (int d = 0; d < rank; ++d)
+    if (std::find(bound.begin(), bound.end(), d) == bound.end())
+      result.push_back(d);
+  return result;
+}
+
+std::vector<int> lhsBound(const Operation& op) {
+  std::vector<int> bound;
+  for (const auto& [l, r] : op.pairs)
+    bound.push_back(l);
+  return bound;
+}
+
+std::vector<int> rhsBound(const Operation& op) {
+  std::vector<int> bound;
+  for (const auto& [l, r] : op.pairs)
+    bound.push_back(r);
+  return bound;
+}
+
+} // namespace
+
+poly::Box Program::domain(const Operation& op) const {
+  switch (op.kind) {
+  case OpKind::Contract: {
+    const auto& lhsShape = tensor(op.lhs).type.shape;
+    const auto& rhsShape = tensor(op.rhs).type.shape;
+    const auto freeL = freeDims(static_cast<int>(lhsShape.size()),
+                                lhsBound(op));
+    const auto freeR = freeDims(static_cast<int>(rhsShape.size()),
+                                rhsBound(op));
+    std::vector<std::int64_t> extents;
+    for (int d : freeL)
+      extents.push_back(lhsShape[static_cast<std::size_t>(d)]);
+    for (int d : freeR)
+      extents.push_back(rhsShape[static_cast<std::size_t>(d)]);
+    for (const auto& [l, r] : op.pairs)
+      extents.push_back(lhsShape[static_cast<std::size_t>(l)]);
+    return poly::Box::fromShape(extents);
+  }
+  case OpKind::EntryWise:
+  case OpKind::Copy:
+  case OpKind::Fill:
+    return tensor(op.target).type.indexSpace();
+  }
+  CFD_UNREACHABLE("bad op kind");
+}
+
+int Program::numOutputDims(const Operation& op) const {
+  if (op.kind == OpKind::Contract)
+    return domain(op).rank() - static_cast<int>(op.pairs.size());
+  return tensor(op.target).type.rank();
+}
+
+Access Program::writeAccess(const Operation& op) const {
+  const int domainRank = domain(op).rank();
+  const int outDims = numOutputDims(op);
+  std::vector<poly::AffineExpr> results;
+  if (op.kind == OpKind::Contract && !op.resultPerm.empty()) {
+    CFD_ASSERT(static_cast<int>(op.resultPerm.size()) == outDims,
+               "resultPerm arity mismatch");
+    for (int j = 0; j < outDims; ++j)
+      results.push_back(poly::AffineExpr::dim(domainRank, op.resultPerm[static_cast<std::size_t>(j)]));
+  } else {
+    for (int j = 0; j < outDims; ++j)
+      results.push_back(poly::AffineExpr::dim(domainRank, j));
+  }
+  return Access{op.target, poly::AffineMap(domainRank, std::move(results))};
+}
+
+std::vector<Access> Program::readAccesses(const Operation& op) const {
+  const int domainRank = domain(op).rank();
+  std::vector<Access> reads;
+  switch (op.kind) {
+  case OpKind::Contract: {
+    const int lhsRank = tensor(op.lhs).type.rank();
+    const int rhsRank = tensor(op.rhs).type.rank();
+    const auto freeL = freeDims(lhsRank, lhsBound(op));
+    const auto freeR = freeDims(rhsRank, rhsBound(op));
+    const int numFree = static_cast<int>(freeL.size() + freeR.size());
+
+    // lhs: free dim d at position p in freeL reads domain dim p; paired
+    // dim of pair q reads domain dim numFree + q.
+    std::vector<poly::AffineExpr> lhsResults(
+        static_cast<std::size_t>(lhsRank),
+        poly::AffineExpr::constant(domainRank, 0));
+    for (std::size_t p = 0; p < freeL.size(); ++p)
+      lhsResults[static_cast<std::size_t>(freeL[p])] =
+          poly::AffineExpr::dim(domainRank, static_cast<int>(p));
+    for (std::size_t q = 0; q < op.pairs.size(); ++q)
+      lhsResults[static_cast<std::size_t>(op.pairs[q].first)] =
+          poly::AffineExpr::dim(domainRank, numFree + static_cast<int>(q));
+    reads.push_back(
+        {op.lhs, poly::AffineMap(domainRank, std::move(lhsResults))});
+
+    std::vector<poly::AffineExpr> rhsResults(
+        static_cast<std::size_t>(rhsRank),
+        poly::AffineExpr::constant(domainRank, 0));
+    for (std::size_t p = 0; p < freeR.size(); ++p)
+      rhsResults[static_cast<std::size_t>(freeR[p])] = poly::AffineExpr::dim(
+          domainRank, static_cast<int>(freeL.size() + p));
+    for (std::size_t q = 0; q < op.pairs.size(); ++q)
+      rhsResults[static_cast<std::size_t>(op.pairs[q].second)] =
+          poly::AffineExpr::dim(domainRank, numFree + static_cast<int>(q));
+    reads.push_back(
+        {op.rhs, poly::AffineMap(domainRank, std::move(rhsResults))});
+    return reads;
+  }
+  case OpKind::EntryWise: {
+    for (TensorId operand : {op.lhs, op.rhs}) {
+      const int rank = tensor(operand).type.rank();
+      if (rank == 0) {
+        reads.push_back({operand, poly::AffineMap(domainRank, {})});
+      } else {
+        CFD_ASSERT(rank == domainRank, "entry-wise operand rank mismatch");
+        reads.push_back({operand, poly::AffineMap::identity(domainRank)});
+      }
+    }
+    return reads;
+  }
+  case OpKind::Copy: {
+    const int sourceRank = tensor(op.lhs).type.rank();
+    CFD_ASSERT(sourceRank == domainRank, "copy rank mismatch");
+    std::vector<poly::AffineExpr> results(
+        static_cast<std::size_t>(sourceRank),
+        poly::AffineExpr::constant(domainRank, 0));
+    if (op.perm.empty()) {
+      reads.push_back({op.lhs, poly::AffineMap::identity(domainRank)});
+    } else {
+      // target[i...] = source[j...] with j[perm[t]] = i[t].
+      for (int t = 0; t < domainRank; ++t)
+        results[static_cast<std::size_t>(op.perm[static_cast<std::size_t>(t)])] =
+            poly::AffineExpr::dim(domainRank, t);
+      reads.push_back({op.lhs, poly::AffineMap(domainRank, std::move(results))});
+    }
+    return reads;
+  }
+  case OpKind::Fill:
+    return reads;
+  }
+  CFD_UNREACHABLE("bad op kind");
+}
+
+const Program& Program::verify() const {
+  std::set<TensorId> written;
+  for (const auto& op : operations_) {
+    const Tensor& target = tensor(op.target);
+    CFD_ASSERT(target.kind != TensorKind::Input,
+               "input tensor " + target.name + " is written");
+    CFD_ASSERT(written.insert(op.target).second,
+               "tensor " + target.name + " violates single assignment");
+    // Reads must reference inputs or previously written tensors.
+    for (const auto& read : readAccesses(op)) {
+      const Tensor& source = tensor(read.tensor);
+      CFD_ASSERT(source.kind == TensorKind::Input ||
+                     written.count(read.tensor),
+                 "tensor " + source.name + " read before definition");
+      CFD_ASSERT(read.map.numResults() == source.type.rank(),
+                 "access rank mismatch on " + source.name);
+    }
+    const Access write = writeAccess(op);
+    CFD_ASSERT(write.map.numResults() == target.type.rank(),
+               "write rank mismatch on " + target.name);
+    // The write must stay in bounds over the whole domain; checking the
+    // extreme corners is sufficient for these (monotone affine) maps.
+    const poly::Box dom = domain(op);
+    if (!dom.empty()) {
+      std::vector<std::int64_t> lo, hi;
+      for (int d = 0; d < dom.rank(); ++d) {
+        lo.push_back(dom.lower(d));
+        hi.push_back(dom.upper(d) - 1);
+      }
+      for (const auto& corner : {lo, hi}) {
+        const auto index = write.map.evaluate(corner);
+        CFD_ASSERT(target.type.indexSpace().contains(index),
+                   "write out of bounds on " + target.name);
+      }
+    }
+  }
+  // Every output must be written.
+  for (const auto& tensor : tensors_)
+    if (tensor.kind == TensorKind::Output)
+      CFD_ASSERT(written.count(tensor.id),
+                 "output " + tensor.name + " is never written");
+  return *this;
+}
+
+std::string Program::str() const {
+  std::ostringstream os;
+  for (const auto& tensor : tensors_)
+    os << tensorKindName(tensor.kind) << " " << tensor.name << " : "
+       << tensor.type.str() << "\n";
+  for (const auto& op : operations_) {
+    os << tensor(op.target).name << " = ";
+    switch (op.kind) {
+    case OpKind::Contract: {
+      os << "contract(" << tensor(op.lhs).name << ", " << tensor(op.rhs).name
+         << ", pairs={";
+      for (std::size_t i = 0; i < op.pairs.size(); ++i) {
+        if (i != 0)
+          os << ", ";
+        os << "(" << op.pairs[i].first << "," << op.pairs[i].second << ")";
+      }
+      os << "}";
+      if (!op.resultPerm.empty()) {
+        os << ", perm=[";
+        for (std::size_t i = 0; i < op.resultPerm.size(); ++i) {
+          if (i != 0)
+            os << " ";
+          os << op.resultPerm[i];
+        }
+        os << "]";
+      }
+      os << ")";
+      break;
+    }
+    case OpKind::EntryWise:
+      os << tensor(op.lhs).name << " " << entryWiseKindName(op.entryWise)
+         << " " << tensor(op.rhs).name;
+      break;
+    case OpKind::Copy:
+      os << "copy(" << tensor(op.lhs).name;
+      if (!op.perm.empty()) {
+        os << ", perm=[";
+        for (std::size_t i = 0; i < op.perm.size(); ++i) {
+          if (i != 0)
+            os << " ";
+          os << op.perm[i];
+        }
+        os << "]";
+      }
+      os << ")";
+      break;
+    case OpKind::Fill:
+      os << "fill(" << op.scalar << ")";
+      break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+} // namespace cfd::ir

@@ -1,0 +1,209 @@
+#include "ir/TextIO.h"
+
+#include "support/Error.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace cfd::ir {
+
+namespace {
+
+/// Minimal cursor over one line of IR text.
+class LineParser {
+public:
+  LineParser(std::string line, int number)
+      : line_(std::move(line)), number_(number) {}
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw FlowError("IR text line " + std::to_string(number_) + ": " +
+                    message + " (near '" + line_.substr(pos_, 20) + "')");
+  }
+
+  void skipSpace() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_])))
+      ++pos_;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return pos_ >= line_.size();
+  }
+
+  bool tryConsume(const std::string& token) {
+    skipSpace();
+    if (line_.compare(pos_, token.size(), token) != 0)
+      return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  void expect(const std::string& token) {
+    if (!tryConsume(token))
+      fail("expected '" + token + "'");
+  }
+
+  std::string identifier() {
+    skipSpace();
+    std::size_t start = pos_;
+    while (pos_ < line_.size() &&
+           (std::isalnum(static_cast<unsigned char>(line_[pos_])) ||
+            line_[pos_] == '_'))
+      ++pos_;
+    if (pos_ == start)
+      fail("expected an identifier");
+    return line_.substr(start, pos_ - start);
+  }
+
+  std::int64_t integer() {
+    skipSpace();
+    std::size_t start = pos_;
+    if (pos_ < line_.size() && (line_[pos_] == '-' || line_[pos_] == '+'))
+      ++pos_;
+    while (pos_ < line_.size() &&
+           std::isdigit(static_cast<unsigned char>(line_[pos_])))
+      ++pos_;
+    if (pos_ == start)
+      fail("expected an integer");
+    return std::stoll(line_.substr(start, pos_ - start));
+  }
+
+  double number() {
+    skipSpace();
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(line_.substr(pos_), &consumed);
+    } catch (const std::exception&) {
+      fail("expected a number");
+    }
+    pos_ += consumed;
+    return value;
+  }
+
+  bool peekIs(char c) {
+    skipSpace();
+    return pos_ < line_.size() && line_[pos_] == c;
+  }
+
+private:
+  std::string line_;
+  int number_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Program parseProgramText(const std::string& text) {
+  Program program;
+  std::istringstream stream(text);
+  std::string line;
+  int lineNumber = 0;
+
+  const auto tensorIdOf = [&](const std::string& name,
+                              LineParser& parser) -> TensorId {
+    const Tensor* tensor = program.findTensor(name);
+    if (tensor == nullptr)
+      parser.fail("unknown tensor '" + name + "'");
+    return tensor->id;
+  };
+
+  while (std::getline(stream, line)) {
+    ++lineNumber;
+    LineParser parser(line, lineNumber);
+    if (parser.atEnd())
+      continue;
+
+    // Tensor declaration?
+    TensorKind kind;
+    bool isDecl = true;
+    if (parser.tryConsume("input "))
+      kind = TensorKind::Input;
+    else if (parser.tryConsume("output "))
+      kind = TensorKind::Output;
+    else if (parser.tryConsume("local "))
+      kind = TensorKind::Local;
+    else if (parser.tryConsume("transient "))
+      kind = TensorKind::Transient;
+    else
+      isDecl = false;
+
+    if (isDecl) {
+      const std::string name = parser.identifier();
+      parser.expect(":");
+      parser.expect("[");
+      std::vector<std::int64_t> shape;
+      while (!parser.peekIs(']'))
+        shape.push_back(parser.integer());
+      parser.expect("]");
+      program.addTensor(name, kind, TensorType{std::move(shape)});
+      continue;
+    }
+
+    // Operation: NAME = rhs
+    Operation op;
+    const std::string target = parser.identifier();
+    op.target = tensorIdOf(target, parser);
+    parser.expect("=");
+
+    if (parser.tryConsume("contract(")) {
+      op.kind = OpKind::Contract;
+      op.lhs = tensorIdOf(parser.identifier(), parser);
+      parser.expect(",");
+      op.rhs = tensorIdOf(parser.identifier(), parser);
+      parser.expect(",");
+      parser.expect("pairs={");
+      while (!parser.peekIs('}')) {
+        parser.expect("(");
+        const int a = static_cast<int>(parser.integer());
+        parser.expect(",");
+        const int b = static_cast<int>(parser.integer());
+        parser.expect(")");
+        op.pairs.emplace_back(a, b);
+        parser.tryConsume(",");
+      }
+      parser.expect("}");
+      if (parser.tryConsume(", perm=[")) {
+        while (!parser.peekIs(']'))
+          op.resultPerm.push_back(static_cast<int>(parser.integer()));
+        parser.expect("]");
+      }
+      parser.expect(")");
+    } else if (parser.tryConsume("copy(")) {
+      op.kind = OpKind::Copy;
+      op.lhs = tensorIdOf(parser.identifier(), parser);
+      if (parser.tryConsume(", perm=[")) {
+        while (!parser.peekIs(']'))
+          op.perm.push_back(static_cast<int>(parser.integer()));
+        parser.expect("]");
+      }
+      parser.expect(")");
+    } else if (parser.tryConsume("fill(")) {
+      op.kind = OpKind::Fill;
+      op.scalar = parser.number();
+      parser.expect(")");
+    } else {
+      op.kind = OpKind::EntryWise;
+      op.lhs = tensorIdOf(parser.identifier(), parser);
+      if (parser.tryConsume("+"))
+        op.entryWise = EntryWiseKind::Add;
+      else if (parser.tryConsume("-"))
+        op.entryWise = EntryWiseKind::Sub;
+      else if (parser.tryConsume("*"))
+        op.entryWise = EntryWiseKind::Mul;
+      else if (parser.tryConsume("/"))
+        op.entryWise = EntryWiseKind::Div;
+      else
+        parser.fail("expected an entry-wise operator");
+      op.rhs = tensorIdOf(parser.identifier(), parser);
+    }
+    if (!parser.atEnd())
+      parser.fail("trailing characters");
+    program.addOperation(std::move(op));
+  }
+  program.verify();
+  return program;
+}
+
+} // namespace cfd::ir

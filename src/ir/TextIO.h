@@ -1,0 +1,30 @@
+// Textual round-trip for the tensor IR.
+//
+// Program::str() prints a pseudo-SSA program; parseProgramText() parses
+// that exact format back. This gives the flow a stable on-disk IR
+// format for tooling (dump after step i, inspect, re-run later stages)
+// and lets tests snapshot IR without depending on in-memory structures.
+//
+// Grammar (one entry per line):
+//   tensorDecl := ('input' | 'output' | 'local' | 'transient')
+//                 NAME ':' '[' INT* ']'
+//   operation  := NAME '=' rhs
+//   rhs        := 'contract(' NAME ',' NAME ', pairs={' pairList '}'
+//                 (', perm=[' INT* ']')? ')'
+//              |  NAME ('+'|'-'|'*'|'/') NAME
+//              |  'copy(' NAME (', perm=[' INT* ']')? ')'
+//              |  'fill(' FLOAT ')'
+//   pairList   := ('(' INT ',' INT ')' (',' ...)*)?
+#pragma once
+
+#include "ir/TensorIR.h"
+
+#include <string>
+
+namespace cfd::ir {
+
+/// Parses the Program::str() format; throws FlowError with a line
+/// number on malformed input. The result is verified.
+Program parseProgramText(const std::string& text);
+
+} // namespace cfd::ir

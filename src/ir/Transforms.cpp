@@ -1,0 +1,78 @@
+#include "ir/Transforms.h"
+
+#include <algorithm>
+
+namespace cfd::ir {
+
+namespace {
+
+void replaceUses(Program& program, TensorId from, TensorId to,
+                 std::size_t fromOpIndex) {
+  auto& ops = program.operations();
+  for (std::size_t i = fromOpIndex; i < ops.size(); ++i) {
+    Operation& op = ops[i];
+    if (op.lhs == from)
+      op.lhs = to;
+    if ((op.kind == OpKind::Contract || op.kind == OpKind::EntryWise) &&
+        op.rhs == from)
+      op.rhs = to;
+  }
+}
+
+} // namespace
+
+CanonicalizeStats canonicalize(Program& program) {
+  CanonicalizeStats stats;
+  auto& ops = program.operations();
+
+  // Forward copy propagation.
+  for (std::size_t i = 0; i < ops.size();) {
+    Operation& op = ops[i];
+    const bool identityCopy = op.kind == OpKind::Copy && op.perm.empty();
+    const Tensor& target = program.tensor(op.target);
+    if (identityCopy && !target.isInterface() &&
+        target.kind == TensorKind::Transient) {
+      replaceUses(program, op.target, op.lhs, i + 1);
+      ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+      ++stats.copiesForwarded;
+      continue;
+    }
+    ++i;
+  }
+
+  // Backward retargeting: out = copy(t) with t transient defined by the
+  // directly preceding statement and not used elsewhere.
+  for (std::size_t i = 1; i < ops.size();) {
+    Operation& op = ops[i];
+    if (op.kind != OpKind::Copy || !op.perm.empty()) {
+      ++i;
+      continue;
+    }
+    const Tensor& source = program.tensor(op.lhs);
+    Operation& def = ops[i - 1];
+    const bool sourceIsPrivate =
+        source.kind == TensorKind::Transient && def.target == op.lhs;
+    bool usedElsewhere = false;
+    for (std::size_t j = 0; j < ops.size(); ++j) {
+      if (j == i || j == i - 1)
+        continue;
+      const Operation& other = ops[j];
+      if (other.lhs == op.lhs || other.rhs == op.lhs ||
+          other.target == op.lhs)
+        usedElsewhere = true;
+    }
+    if (sourceIsPrivate && !usedElsewhere) {
+      def.target = op.target;
+      ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+      ++stats.copiesRetargeted;
+      continue;
+    }
+    ++i;
+  }
+
+  program.dropUnusedTensors();
+  program.verify();
+  return stats;
+}
+
+} // namespace cfd::ir

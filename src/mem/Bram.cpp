@@ -1,0 +1,31 @@
+#include "mem/Bram.h"
+
+#include "support/Error.h"
+
+namespace cfd::mem {
+
+std::int64_t nextPow2(std::int64_t value) {
+  CFD_ASSERT(value > 0, "nextPow2 of non-positive value");
+  std::int64_t result = 1;
+  while (result < value)
+    result <<= 1;
+  return result;
+}
+
+int bram36For(std::int64_t depth, int widthBits, BramPacking packing) {
+  CFD_ASSERT(depth > 0 && widthBits > 0, "invalid array geometry");
+  if (packing == BramPacking::Pow2Depth)
+    depth = nextPow2(depth);
+  int best = -1;
+  for (const BramMode& mode : kBram36Modes) {
+    const std::int64_t rows = (depth + mode.depth - 1) / mode.depth;
+    const std::int64_t cols =
+        (widthBits + mode.widthBits - 1) / mode.widthBits;
+    const int total = static_cast<int>(rows * cols);
+    if (best < 0 || total < best)
+      best = total;
+  }
+  return best;
+}
+
+} // namespace cfd::mem

@@ -1,0 +1,49 @@
+// Block-RAM resource model for Xilinx UltraScale+ devices.
+//
+// The evaluation board (ZCU106 / xczu7ev) counts 312 BRAM36 blocks; each
+// BRAM36 can be configured as 512x72, 1Kx36, 2Kx18 or 4Kx9 (and pairs of
+// independent BRAM18s). PLM units pack a logical array of `depth` words
+// of `widthBits` each onto a grid of BRAM36 primitives.
+//
+// Two packing policies appear in the flow (DESIGN.md §6):
+//  * exact-depth (Mnemosyne PLM generator): rows = ceil(depth/modeDepth);
+//  * pow2-depth (Vivado HLS internal arrays): the address decoder pads
+//    the depth to the next power of two first. This reproduces the
+//    paper's "temporaries inside the accelerator" observation (6 arrays
+//    of 1331 doubles -> 24 BRAMs instead of 18).
+#pragma once
+
+#include <cstdint>
+
+namespace cfd::mem {
+
+enum class BramPacking {
+  ExactDepth,
+  Pow2Depth,
+};
+
+struct BramMode {
+  std::int64_t depth;
+  int widthBits;
+};
+
+/// The four BRAM36 aspect ratios.
+inline constexpr BramMode kBram36Modes[] = {
+    {512, 72},
+    {1024, 36},
+    {2048, 18},
+    {4096, 9},
+};
+
+/// Number of BRAM36 primitives needed for `depth` x `widthBits`, choosing
+/// the best aspect ratio.
+int bram36For(std::int64_t depth, int widthBits, BramPacking packing);
+
+/// Vivado maps small arrays to LUTRAM (distributed RAM) instead of BRAM.
+/// We use a conservative 128-element threshold for the HLS-internal
+/// mapping; Mnemosyne PLM units always use BRAM.
+inline constexpr std::int64_t kLutramElementThreshold = 128;
+
+std::int64_t nextPow2(std::int64_t value);
+
+} // namespace cfd::mem

@@ -1,0 +1,95 @@
+#include "mem/Compatibility.h"
+
+#include "support/Error.h"
+
+#include <sstream>
+
+namespace cfd::mem {
+
+void CompatibilityGraph::addAddressSpaceEdge(ir::TensorId a,
+                                             ir::TensorId b) {
+  addressSpace_.insert(key(a, b));
+}
+
+void CompatibilityGraph::addInterfaceEdge(ir::TensorId a, ir::TensorId b) {
+  interface_.insert(key(a, b));
+}
+
+bool CompatibilityGraph::addressSpaceCompatible(ir::TensorId a,
+                                                ir::TensorId b) const {
+  return addressSpace_.count(key(a, b)) != 0;
+}
+
+bool CompatibilityGraph::interfaceCompatible(ir::TensorId a,
+                                             ir::TensorId b) const {
+  return interface_.count(key(a, b)) != 0;
+}
+
+std::string CompatibilityGraph::dot(const ir::Program& program) const {
+  std::ostringstream os;
+  os << "graph compatibility {\n";
+  for (ir::TensorId id : nodes_) {
+    const ir::Tensor& tensor = program.tensor(id);
+    os << "  " << tensor.name;
+    if (tensor.isInterface())
+      os << " [shape=box]";
+    os << ";\n";
+  }
+  for (const auto& [a, b] : addressSpace_)
+    os << "  " << program.tensor(a).name << " -- " << program.tensor(b).name
+       << ";\n";
+  for (const auto& [a, b] : interface_)
+    os << "  " << program.tensor(a).name << " -- " << program.tensor(b).name
+       << " [style=dashed];\n";
+  os << "}\n";
+  return os.str();
+}
+
+CompatibilityGraph buildCompatibilityGraph(const sched::Schedule& schedule,
+                                           const LivenessInfo& liveness) {
+  CFD_ASSERT(schedule.program != nullptr, "schedule without program");
+  const ir::Program& program = *schedule.program;
+  CompatibilityGraph graph;
+  for (const auto& tensor : program.tensors())
+    graph.addNode(tensor.id);
+
+  // Per-statement steady-state access sets.
+  struct AccessSet {
+    std::set<ir::TensorId> reads;
+    std::set<ir::TensorId> writes;
+  };
+  std::vector<AccessSet> accesses;
+  for (const auto& stmt : schedule.statements) {
+    AccessSet set;
+    for (const auto& read : stmt.reads)
+      set.reads.insert(read.tensor);
+    set.writes.insert(stmt.write.tensor);
+    // Read-modify-write accumulation (no register accumulator) also
+    // reads the target each iteration.
+    if (stmt.needsInit && !stmt.innermostIsReduction())
+      set.reads.insert(stmt.write.tensor);
+    accesses.push_back(std::move(set));
+  }
+
+  const auto& tensors = program.tensors();
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    for (std::size_t j = i + 1; j < tensors.size(); ++j) {
+      const ir::TensorId a = tensors[i].id;
+      const ir::TensorId b = tensors[j].id;
+      if (liveness.disjoint(a, b))
+        graph.addAddressSpaceEdge(a, b);
+      bool interfaceOk = true;
+      for (const auto& set : accesses) {
+        if (set.reads.count(a) && set.reads.count(b))
+          interfaceOk = false;
+        if (set.writes.count(a) && set.writes.count(b))
+          interfaceOk = false;
+      }
+      if (interfaceOk)
+        graph.addInterfaceEdge(a, b);
+    }
+  }
+  return graph;
+}
+
+} // namespace cfd::mem

@@ -1,0 +1,60 @@
+// Memory compatibility graph (paper Fig. 5 and §IV-F).
+//
+// Two compatibility relations between arrays drive Mnemosyne's sharing:
+//
+//  * address-space compatible: lifetimes never overlap over the entire
+//    accelerator execution, so both arrays may occupy the *same* storage;
+//  * memory-interface compatible: a total temporal ordering of their
+//    memory operations exists in which the same operation type (read or
+//    write) never occurs on both at the same time, so both arrays may
+//    share physical ports/banks while keeping disjoint address ranges.
+//
+// At statement granularity (statements execute one after another), the
+// interface relation reduces to: no single statement reads both arrays in
+// its steady state, and no single statement writes both. Read-modify-
+// write accumulation makes the target both read and written.
+#pragma once
+
+#include "mem/Liveness.h"
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cfd::mem {
+
+class CompatibilityGraph {
+public:
+  const std::vector<ir::TensorId>& nodes() const { return nodes_; }
+
+  bool addressSpaceCompatible(ir::TensorId a, ir::TensorId b) const;
+  bool interfaceCompatible(ir::TensorId a, ir::TensorId b) const;
+
+  std::size_t numAddressSpaceEdges() const { return addressSpace_.size(); }
+  std::size_t numInterfaceEdges() const { return interface_.size(); }
+
+  /// Graphviz rendering (solid = address-space, dashed = interface).
+  std::string dot(const ir::Program& program) const;
+
+  void addNode(ir::TensorId id) { nodes_.push_back(id); }
+  void addAddressSpaceEdge(ir::TensorId a, ir::TensorId b);
+  void addInterfaceEdge(ir::TensorId a, ir::TensorId b);
+
+private:
+  static std::pair<ir::TensorId, ir::TensorId> key(ir::TensorId a,
+                                                   ir::TensorId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  std::vector<ir::TensorId> nodes_;
+  std::set<std::pair<ir::TensorId, ir::TensorId>> addressSpace_;
+  std::set<std::pair<ir::TensorId, ir::TensorId>> interface_;
+};
+
+/// Builds the compatibility graph of `schedule` from liveness and the
+/// per-statement access sets.
+CompatibilityGraph buildCompatibilityGraph(const sched::Schedule& schedule,
+                                           const LivenessInfo& liveness);
+
+} // namespace cfd::mem

@@ -1,0 +1,114 @@
+#include "mem/Dataflow.h"
+
+#include "support/Error.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace cfd::mem {
+
+const char* dependenceKindName(DependenceKind kind) {
+  switch (kind) {
+  case DependenceKind::RAW:
+    return "RAW";
+  case DependenceKind::WAR:
+    return "WAR";
+  case DependenceKind::WAW:
+    return "WAW";
+  case DependenceKind::RAR:
+    return "RAR";
+  }
+  return "?";
+}
+
+std::vector<Dependence> DataflowInfo::ofKind(DependenceKind kind) const {
+  std::vector<Dependence> result;
+  for (const auto& dep : dependences)
+    if (dep.kind == kind)
+      result.push_back(dep);
+  return result;
+}
+
+std::int64_t DataflowInfo::totalRawDistance() const {
+  std::int64_t total = 0;
+  for (const auto& dep : dependences)
+    if (dep.kind == DependenceKind::RAW)
+      total += dep.distance();
+  return total;
+}
+
+std::string DataflowInfo::str(const ir::Program& program) const {
+  std::ostringstream os;
+  for (const auto& dep : dependences)
+    os << dependenceKindName(dep.kind) << " S" << dep.source << " -> S"
+       << dep.sink << " via " << program.tensor(dep.array).name << "\n";
+  return os.str();
+}
+
+DataflowInfo analyzeDataflow(const sched::Schedule& schedule) {
+  CFD_ASSERT(schedule.program != nullptr, "schedule without program");
+  DataflowInfo info;
+  const auto& stmts = schedule.statements;
+
+  const auto readsOf = [&](std::size_t i) {
+    std::set<ir::TensorId> reads;
+    for (const auto& read : stmts[i].reads)
+      reads.insert(read.tensor);
+    return reads;
+  };
+
+  for (std::size_t i = 0; i < stmts.size(); ++i) {
+    const std::set<ir::TensorId> readsI = readsOf(i);
+    for (std::size_t j = i + 1; j < stmts.size(); ++j) {
+      const std::set<ir::TensorId> readsJ = readsOf(j);
+      const auto add = [&](DependenceKind kind, ir::TensorId array) {
+        info.dependences.push_back(
+            {kind, static_cast<int>(i), static_cast<int>(j), array});
+      };
+      // RAW: j reads what i writes.
+      if (readsJ.count(stmts[i].write.tensor))
+        add(DependenceKind::RAW, stmts[i].write.tensor);
+      // WAR: j writes what i reads.
+      if (readsI.count(stmts[j].write.tensor))
+        add(DependenceKind::WAR, stmts[j].write.tensor);
+      // WAW: same target (impossible in pseudo-SSA; kept for generality).
+      if (stmts[i].write.tensor == stmts[j].write.tensor)
+        add(DependenceKind::WAW, stmts[i].write.tensor);
+      // RAR: shared operand (coincidence cost in the paper's §IV-E).
+      for (ir::TensorId tensor : readsI)
+        if (readsJ.count(tensor))
+          add(DependenceKind::RAR, tensor);
+    }
+  }
+  return info;
+}
+
+std::string verifySchedule(const sched::Schedule& schedule) {
+  CFD_ASSERT(schedule.program != nullptr, "schedule without program");
+  const ir::Program& program = *schedule.program;
+  std::set<ir::TensorId> written;
+  for (std::size_t i = 0; i < schedule.statements.size(); ++i) {
+    const auto& stmt = schedule.statements[i];
+    for (const auto& read : stmt.reads) {
+      const ir::Tensor& tensor = program.tensor(read.tensor);
+      if (tensor.kind != ir::TensorKind::Input &&
+          !written.count(read.tensor))
+        return stmt.name + " reads " + tensor.name +
+               " before it is written";
+    }
+    const ir::Tensor& target = program.tensor(stmt.write.tensor);
+    if (target.kind == ir::TensorKind::Input)
+      return stmt.name + " writes input " + target.name;
+    if (!written.insert(stmt.write.tensor).second)
+      return stmt.name + " rewrites " + target.name +
+             " (violates pseudo-SSA)";
+  }
+  // Every output must have been produced.
+  for (const auto& tensor : program.tensors())
+    if (tensor.kind == ir::TensorKind::Output && !written.count(tensor.id))
+      return "output " + tensor.name + " is never written";
+  return {};
+}
+
+} // namespace cfd::mem

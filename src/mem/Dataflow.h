@@ -1,0 +1,58 @@
+// Schedule-level dataflow analysis: RAW/WAR/WAW/RAR dependences between
+// scheduled statements (paper §IV-E/F), plus a legality checker.
+//
+// The paper obtains RAW dependences in the form
+//     RAW : array[i] -> [write[...] -> read[...]]
+// from isl dataflow; at statement granularity over box domains the same
+// information is a dependence edge (writer, reader, array) together with
+// the element overlap of the two accesses. The rescheduler uses RAW
+// edges as its cost input, liveness composes them into intervals, and
+// verifySchedule() re-validates any schedule against the original
+// program order — the safety net behind every transform test.
+#pragma once
+
+#include "sched/Schedule.h"
+
+#include <string>
+#include <vector>
+
+namespace cfd::mem {
+
+enum class DependenceKind {
+  RAW, // read-after-write (true/flow)
+  WAR, // write-after-read (anti)
+  WAW, // write-after-write (output)
+  RAR, // read-after-read (input; drives coincidence placement)
+};
+
+const char* dependenceKindName(DependenceKind kind);
+
+struct Dependence {
+  DependenceKind kind = DependenceKind::RAW;
+  int source = 0; // statement position (execution order)
+  int sink = 0;   // statement position, source < sink
+  ir::TensorId array = -1;
+  /// Distance in statement positions (sink - source): the cost the
+  /// Pluto-lite objective minimizes for RAW edges.
+  int distance() const { return sink - source; }
+};
+
+struct DataflowInfo {
+  std::vector<Dependence> dependences;
+
+  std::vector<Dependence> ofKind(DependenceKind kind) const;
+  /// Sum of RAW distances — the rescheduler's objective value.
+  std::int64_t totalRawDistance() const;
+  std::string str(const ir::Program& program) const;
+};
+
+/// Computes all pairwise dependences of the scheduled statement sequence.
+DataflowInfo analyzeDataflow(const sched::Schedule& schedule);
+
+/// Checks that `schedule` is a legal execution order of its program:
+/// every value is produced before it is consumed and each tensor is
+/// written exactly once (pseudo-SSA). Returns a description of the first
+/// violation, or an empty string when legal.
+std::string verifySchedule(const sched::Schedule& schedule);
+
+} // namespace cfd::mem

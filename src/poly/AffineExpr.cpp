@@ -1,0 +1,144 @@
+#include "poly/AffineExpr.h"
+
+#include "support/Error.h"
+
+#include <sstream>
+
+namespace cfd::poly {
+
+AffineExpr AffineExpr::dim(int numDims, int dim) {
+  CFD_ASSERT(dim >= 0 && dim < numDims, "dimension index out of range");
+  AffineExpr expr;
+  expr.coefficients_.assign(static_cast<std::size_t>(numDims), 0);
+  expr.coefficients_[static_cast<std::size_t>(dim)] = 1;
+  return expr;
+}
+
+AffineExpr AffineExpr::constant(int numDims, std::int64_t value) {
+  AffineExpr expr;
+  expr.coefficients_.assign(static_cast<std::size_t>(numDims), 0);
+  expr.constant_ = value;
+  return expr;
+}
+
+AffineExpr AffineExpr::fromCoefficients(
+    std::vector<std::int64_t> coefficients, std::int64_t constant) {
+  AffineExpr expr;
+  expr.coefficients_ = std::move(coefficients);
+  expr.constant_ = constant;
+  return expr;
+}
+
+std::int64_t AffineExpr::coefficient(int dim) const {
+  CFD_ASSERT(dim >= 0 && dim < numDims(), "dimension index out of range");
+  return coefficients_[static_cast<std::size_t>(dim)];
+}
+
+bool AffineExpr::isConstant() const {
+  for (std::int64_t c : coefficients_)
+    if (c != 0)
+      return false;
+  return true;
+}
+
+bool AffineExpr::isDim(int dim) const {
+  if (constant_ != 0)
+    return false;
+  for (int i = 0; i < numDims(); ++i)
+    if (coefficient(i) != (i == dim ? 1 : 0))
+      return false;
+  return true;
+}
+
+bool AffineExpr::usesDim(int dim) const { return coefficient(dim) != 0; }
+
+std::int64_t AffineExpr::evaluate(std::span<const std::int64_t> point) const {
+  CFD_ASSERT(static_cast<int>(point.size()) == numDims(),
+             "point rank mismatch");
+  std::int64_t value = constant_;
+  for (int i = 0; i < numDims(); ++i)
+    value += coefficients_[static_cast<std::size_t>(i)] *
+             point[static_cast<std::size_t>(i)];
+  return value;
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr& other) const {
+  CFD_ASSERT(numDims() == other.numDims(), "space mismatch in addition");
+  AffineExpr result = *this;
+  for (int i = 0; i < numDims(); ++i)
+    result.coefficients_[static_cast<std::size_t>(i)] += other.coefficient(i);
+  result.constant_ += other.constant_;
+  return result;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr& other) const {
+  return *this + other * -1;
+}
+
+AffineExpr AffineExpr::operator*(std::int64_t factor) const {
+  AffineExpr result = *this;
+  for (auto& c : result.coefficients_)
+    c *= factor;
+  result.constant_ *= factor;
+  return result;
+}
+
+AffineExpr AffineExpr::operator+(std::int64_t value) const {
+  AffineExpr result = *this;
+  result.constant_ += value;
+  return result;
+}
+
+AffineExpr AffineExpr::substitute(std::span<const AffineExpr> replacements,
+                                  int targetDims) const {
+  CFD_ASSERT(static_cast<int>(replacements.size()) == numDims(),
+             "substitution arity mismatch");
+  for (const auto& replacement : replacements)
+    CFD_ASSERT(replacement.numDims() == targetDims,
+               "replacement space mismatch");
+  AffineExpr result = AffineExpr::constant(targetDims, constant_);
+  for (int i = 0; i < numDims(); ++i) {
+    const std::int64_t c = coefficient(i);
+    if (c != 0)
+      result = result + replacements[static_cast<std::size_t>(i)] * c;
+  }
+  return result;
+}
+
+std::string AffineExpr::str() const {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(numDims()));
+  for (int i = 0; i < numDims(); ++i)
+    names.push_back("d" + std::to_string(i));
+  return str(names);
+}
+
+std::string AffineExpr::str(std::span<const std::string> dimNames) const {
+  CFD_ASSERT(static_cast<int>(dimNames.size()) == numDims(),
+             "name count mismatch");
+  std::ostringstream os;
+  bool first = true;
+  for (int i = 0; i < numDims(); ++i) {
+    const std::int64_t c = coefficient(i);
+    if (c == 0)
+      continue;
+    if (!first)
+      os << (c > 0 ? " + " : " - ");
+    else if (c < 0)
+      os << "-";
+    const std::int64_t mag = c > 0 ? c : -c;
+    if (mag != 1)
+      os << mag << "*";
+    os << dimNames[static_cast<std::size_t>(i)];
+    first = false;
+  }
+  if (first) {
+    os << constant_;
+  } else if (constant_ != 0) {
+    os << (constant_ > 0 ? " + " : " - ")
+       << (constant_ > 0 ? constant_ : -constant_);
+  }
+  return os.str();
+}
+
+} // namespace cfd::poly

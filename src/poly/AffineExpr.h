@@ -1,0 +1,69 @@
+// Affine expressions over a fixed number of integer dimensions.
+//
+// This is the core abstraction of the polyhedral-lite engine that replaces
+// libISL in this reproduction (see DESIGN.md §2). CFDlang kernels only give
+// rise to dense rectangular iteration domains with affine index functions,
+// so a plain linear-combination representation is complete for this
+// program class.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cfd::poly {
+
+/// An affine expression `sum_i coeff[i] * d_i + constant` over `numDims`
+/// integer dimensions d_0 .. d_{numDims-1}.
+class AffineExpr {
+public:
+  AffineExpr() = default;
+
+  /// Expression equal to dimension `dim` of a `numDims`-dimensional space.
+  static AffineExpr dim(int numDims, int dim);
+
+  /// Constant expression in a `numDims`-dimensional space.
+  static AffineExpr constant(int numDims, std::int64_t value);
+
+  /// Builds an expression from explicit coefficients.
+  static AffineExpr fromCoefficients(std::vector<std::int64_t> coefficients,
+                                     std::int64_t constant);
+
+  int numDims() const { return static_cast<int>(coefficients_.size()); }
+  std::int64_t coefficient(int dim) const;
+  std::int64_t constantTerm() const { return constant_; }
+
+  bool isConstant() const;
+  /// True if the expression is exactly `d_dim` (coefficient 1, all else 0).
+  bool isDim(int dim) const;
+  /// True if `dim` appears with a non-zero coefficient.
+  bool usesDim(int dim) const;
+
+  std::int64_t evaluate(std::span<const std::int64_t> point) const;
+
+  AffineExpr operator+(const AffineExpr& other) const;
+  AffineExpr operator-(const AffineExpr& other) const;
+  AffineExpr operator*(std::int64_t factor) const;
+  AffineExpr operator+(std::int64_t value) const;
+
+  friend bool operator==(const AffineExpr&, const AffineExpr&) = default;
+
+  /// Substitutes each dimension d_i with `replacements[i]` (an expression
+  /// over the `targetDims`-dimensional space). All replacements must share
+  /// that space. `targetDims` is required because a constant expression
+  /// with no replacements could not otherwise determine the result space.
+  AffineExpr substitute(std::span<const AffineExpr> replacements,
+                        int targetDims) const;
+
+  /// Renders the expression with dimension names d0, d1, ... or the given
+  /// names.
+  std::string str() const;
+  std::string str(std::span<const std::string> dimNames) const;
+
+private:
+  std::vector<std::int64_t> coefficients_;
+  std::int64_t constant_ = 0;
+};
+
+} // namespace cfd::poly

@@ -1,0 +1,127 @@
+#include "poly/Box.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cfd::poly {
+
+Box::Box(std::vector<std::int64_t> lower, std::vector<std::int64_t> upper)
+    : lower_(std::move(lower)), upper_(std::move(upper)) {
+  CFD_ASSERT(lower_.size() == upper_.size(), "bound rank mismatch");
+}
+
+Box Box::fromShape(std::span<const std::int64_t> shape) {
+  std::vector<std::int64_t> lower(shape.size(), 0);
+  std::vector<std::int64_t> upper(shape.begin(), shape.end());
+  return Box(std::move(lower), std::move(upper));
+}
+
+std::int64_t Box::lower(int dim) const {
+  CFD_ASSERT(dim >= 0 && dim < rank(), "dimension out of range");
+  return lower_[static_cast<std::size_t>(dim)];
+}
+
+std::int64_t Box::upper(int dim) const {
+  CFD_ASSERT(dim >= 0 && dim < rank(), "dimension out of range");
+  return upper_[static_cast<std::size_t>(dim)];
+}
+
+std::vector<std::int64_t> Box::shape() const {
+  std::vector<std::int64_t> result;
+  result.reserve(lower_.size());
+  for (int i = 0; i < rank(); ++i)
+    result.push_back(extent(i));
+  return result;
+}
+
+bool Box::empty() const {
+  for (int i = 0; i < rank(); ++i)
+    if (extent(i) <= 0)
+      return true;
+  return false;
+}
+
+std::int64_t Box::size() const {
+  if (empty())
+    return 0;
+  std::int64_t total = 1;
+  for (int i = 0; i < rank(); ++i)
+    total *= extent(i);
+  return total;
+}
+
+bool Box::contains(std::span<const std::int64_t> point) const {
+  CFD_ASSERT(static_cast<int>(point.size()) == rank(), "point rank mismatch");
+  for (int i = 0; i < rank(); ++i) {
+    const std::int64_t x = point[static_cast<std::size_t>(i)];
+    if (x < lower(i) || x >= upper(i))
+      return false;
+  }
+  return true;
+}
+
+Box Box::intersect(const Box& other) const {
+  CFD_ASSERT(rank() == other.rank(), "rank mismatch in intersection");
+  std::vector<std::int64_t> lo, hi;
+  lo.reserve(lower_.size());
+  hi.reserve(upper_.size());
+  for (int i = 0; i < rank(); ++i) {
+    lo.push_back(std::max(lower(i), other.lower(i)));
+    hi.push_back(std::min(upper(i), other.upper(i)));
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+bool Box::overlaps(const Box& other) const {
+  return !intersect(other).empty() && !empty() && !other.empty();
+}
+
+void Box::forEachPoint(
+    const std::function<void(std::span<const std::int64_t>)>& fn) const {
+  if (empty() && rank() > 0)
+    return;
+  std::vector<std::int64_t> point(lower_);
+  if (rank() == 0) {
+    fn(point);
+    return;
+  }
+  while (true) {
+    fn(point);
+    int dim = rank() - 1;
+    while (dim >= 0) {
+      ++point[static_cast<std::size_t>(dim)];
+      if (point[static_cast<std::size_t>(dim)] < upper(dim))
+        break;
+      point[static_cast<std::size_t>(dim)] = lower(dim);
+      --dim;
+    }
+    if (dim < 0)
+      return;
+  }
+}
+
+std::string Box::str() const {
+  std::ostringstream os;
+  os << "{ [";
+  for (int i = 0; i < rank(); ++i) {
+    if (i != 0)
+      os << ", ";
+    os << "i" << i;
+  }
+  os << "] : ";
+  if (rank() == 0) {
+    os << "true }";
+    return os.str();
+  }
+  for (int i = 0; i < rank(); ++i) {
+    if (i != 0)
+      os << " and ";
+    os << lower(i) << " <= i" << i << " < " << upper(i);
+  }
+  os << " }";
+  return os.str();
+}
+
+} // namespace cfd::poly

@@ -1,0 +1,55 @@
+// Rectangular integer sets (boxes) and iteration over their points.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cfd::poly {
+
+/// The half-open rectangular set { x in Z^rank : lo_i <= x_i < hi_i }.
+///
+/// All iteration domains and tensor index spaces in CFDlang kernels are
+/// boxes, which is what makes the polyhedral-lite substitution for libISL
+/// exact for this program class (DESIGN.md §2).
+class Box {
+public:
+  Box() = default;
+
+  /// Box with bounds [lo_i, hi_i) per dimension.
+  Box(std::vector<std::int64_t> lower, std::vector<std::int64_t> upper);
+
+  /// Box [0, extent_i) per dimension — the index space of a tensor shape.
+  static Box fromShape(std::span<const std::int64_t> shape);
+
+  int rank() const { return static_cast<int>(lower_.size()); }
+  std::int64_t lower(int dim) const;
+  std::int64_t upper(int dim) const;
+  std::int64_t extent(int dim) const { return upper(dim) - lower(dim); }
+  std::vector<std::int64_t> shape() const;
+
+  bool empty() const;
+  /// Number of integer points; 1 for rank-0 boxes (scalars).
+  std::int64_t size() const;
+  bool contains(std::span<const std::int64_t> point) const;
+
+  /// Intersection; empty result has some extent <= 0.
+  Box intersect(const Box& other) const;
+  bool overlaps(const Box& other) const;
+
+  /// Invokes `fn` for every point in lexicographic order.
+  void forEachPoint(
+      const std::function<void(std::span<const std::int64_t>)>& fn) const;
+
+  friend bool operator==(const Box&, const Box&) = default;
+
+  std::string str() const;
+
+private:
+  std::vector<std::int64_t> lower_;
+  std::vector<std::int64_t> upper_;
+};
+
+} // namespace cfd::poly

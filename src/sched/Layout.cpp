@@ -1,0 +1,50 @@
+#include "sched/Layout.h"
+
+#include "support/Error.h"
+
+namespace cfd::sched {
+
+LayoutAssignment LayoutAssignment::materialize(const ir::Program& program,
+                                               const LayoutOptions& options) {
+  LayoutAssignment assignment;
+  for (const auto& tensor : program.tensors()) {
+    LayoutKind kind = options.defaultLayout;
+    if (const auto it = options.perTensor.find(tensor.name);
+        it != options.perTensor.end())
+      kind = it->second;
+    Layout layout;
+    layout.map = kind == LayoutKind::RowMajor
+                     ? poly::AffineMap::rowMajorLayout(tensor.type.shape)
+                     : poly::AffineMap::columnMajorLayout(tensor.type.shape);
+    layout.sizeInElements = tensor.type.numElements();
+    if (const auto it = options.partitions.find(tensor.name);
+        it != options.partitions.end()) {
+      const PartitionSpec& spec = it->second;
+      CFD_ASSERT(spec.factor >= 1, "partition factor must be >= 1");
+      CFD_ASSERT(spec.kind == PartitionSpec::Kind::None ||
+                     (spec.dim >= 0 && spec.dim < tensor.type.rank()),
+                 "partition dim out of range for " + tensor.name);
+      layout.partition = spec;
+    }
+    assignment.layouts_.emplace(tensor.id, std::move(layout));
+  }
+  return assignment;
+}
+
+const Layout& LayoutAssignment::layoutOf(ir::TensorId id) const {
+  const auto it = layouts_.find(id);
+  CFD_ASSERT(it != layouts_.end(), "no layout for tensor");
+  return it->second;
+}
+
+std::int64_t LayoutAssignment::strideOf(const ir::Access& access,
+                                        int domainDim) const {
+  const Layout& layout = layoutOf(access.tensor);
+  // Compose layout with the access map, then read the coefficient of the
+  // domain dim in the flat offset expression.
+  const poly::AffineMap flat = layout.map.compose(access.map);
+  CFD_ASSERT(flat.numResults() == 1, "layout must be one-dimensional");
+  return flat.result(0).coefficient(domainDim);
+}
+
+} // namespace cfd::sched

@@ -1,0 +1,62 @@
+// Layout materialization (paper §IV-D, step ii).
+//
+// Every tensor is mapped to a one-dimensional array through an affine
+// layout expression. Layouts are model-driven (selected through options
+// rather than derived from the schedule), which lets the flow adapt to
+// external constraints such as the host memory layout, and lets later
+// stages reason about partitions.
+#pragma once
+
+#include "ir/TensorIR.h"
+#include "poly/AffineMap.h"
+
+#include <map>
+#include <string>
+
+namespace cfd::sched {
+
+enum class LayoutKind {
+  RowMajor,    // C99 innermost-last (the paper's default)
+  ColumnMajor, // Fortran innermost-first (host-interface reshaping)
+};
+
+/// How an array is split into physical banks for parallel port access.
+/// None keeps a single bank. Cyclic(dim, factor) interleaves consecutive
+/// indices of `dim` across `factor` banks (HLS ARRAY_PARTITION cyclic).
+struct PartitionSpec {
+  enum class Kind { None, Cyclic, Block } kind = Kind::None;
+  int dim = 0;
+  int factor = 1;
+};
+
+struct LayoutOptions {
+  LayoutKind defaultLayout = LayoutKind::RowMajor;
+  std::map<std::string, LayoutKind> perTensor;
+  std::map<std::string, PartitionSpec> partitions;
+};
+
+/// The materialized layout of one tensor.
+struct Layout {
+  poly::AffineMap map;          // tensor index space -> flat offset
+  std::int64_t sizeInElements = 0;
+  PartitionSpec partition;
+};
+
+/// Layouts for every tensor in a program.
+class LayoutAssignment {
+public:
+  static LayoutAssignment materialize(const ir::Program& program,
+                                      const LayoutOptions& options = {});
+
+  const Layout& layoutOf(ir::TensorId id) const;
+  bool has(ir::TensorId id) const { return layouts_.count(id) != 0; }
+
+  /// Element stride of `access` along `domainDim` under this assignment:
+  /// how far the flat offset moves when the domain dim advances by one.
+  std::int64_t strideOf(const ir::Access& access, int domainDim) const;
+
+private:
+  std::map<ir::TensorId, Layout> layouts_;
+};
+
+} // namespace cfd::sched

@@ -1,0 +1,185 @@
+#include "sched/Reschedule.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace cfd::sched {
+
+namespace {
+
+/// Sum of |stride| of every access along loop position `pos`.
+std::int64_t strideCostAt(const Schedule& schedule,
+                          const ScheduledStatement& stmt, int pos) {
+  std::int64_t cost = 0;
+  const auto addCost = [&](const ir::Access& access) {
+    const std::int64_t stride = schedule.layouts.strideOf(access, pos);
+    cost += stride < 0 ? -stride : stride;
+  };
+  addCost(stmt.write);
+  for (const auto& read : stmt.reads)
+    addCost(read);
+  return cost;
+}
+
+/// Cost of a candidate loop order under the given objective. Lower is
+/// better.
+std::int64_t permutationCost(const Schedule& schedule,
+                             const ir::Program& program,
+                             ScheduledStatement stmt,
+                             const std::vector<LoopDim>& order,
+                             ScheduleObjective objective) {
+  stmt.loops = order;
+  refreshAccesses(program, stmt);
+  const int innermost = static_cast<int>(order.size()) - 1;
+  if (innermost < 0)
+    return 0;
+  std::int64_t cost = 0;
+  if (objective == ScheduleObjective::Hardware) {
+    // Dominant term: a reduction innermost serializes the accumulator.
+    if (order.back().isReduction)
+      cost += 1'000'000'000;
+    // Secondary: prefer small innermost strides for burst-friendly
+    // address sequences.
+    cost += strideCostAt(schedule, stmt, innermost);
+  } else {
+    // Software: weight the innermost stride highest, then outer loops
+    // progressively less (classic locality cost).
+    std::int64_t weight = 1'000'000;
+    for (int pos = innermost; pos >= 0; --pos) {
+      cost += weight * strideCostAt(schedule, stmt, pos) /
+              std::max<std::int64_t>(1, innermost - pos + 1);
+      weight /= 64;
+      if (weight == 0)
+        break;
+    }
+  }
+  return cost;
+}
+
+} // namespace
+
+std::int64_t innermostStrideCost(const Schedule& schedule,
+                                 const ScheduledStatement& stmt) {
+  if (stmt.loops.empty())
+    return 0;
+  return strideCostAt(schedule, stmt,
+                      static_cast<int>(stmt.loops.size()) - 1);
+}
+
+RescheduleStats reschedule(Schedule& schedule,
+                           const RescheduleOptions& options) {
+  CFD_ASSERT(schedule.program != nullptr, "schedule without program");
+  const ir::Program& program = *schedule.program;
+  RescheduleStats stats;
+
+  if (options.reorderStatements && schedule.statements.size() > 1) {
+    // List scheduling under RAW constraints. Priority: pick the ready
+    // statement that closes the most live intervals (its reads are last
+    // uses) relative to the storage it newly makes live.
+    const std::size_t n = schedule.statements.size();
+    std::vector<std::set<int>> rawPreds(n);
+    std::map<ir::TensorId, int> writer;
+    for (std::size_t i = 0; i < n; ++i)
+      writer[schedule.statements[i].write.tensor] = static_cast<int>(i);
+    for (std::size_t i = 0; i < n; ++i)
+      for (const auto& read : schedule.statements[i].reads)
+        if (const auto it = writer.find(read.tensor); it != writer.end())
+          if (it->second != static_cast<int>(i))
+            rawPreds[i].insert(it->second);
+
+    std::vector<int> remainingUses; // per tensor id
+    remainingUses.assign(program.tensors().size(), 0);
+    for (const auto& stmt : schedule.statements)
+      for (const auto& read : stmt.reads)
+        ++remainingUses[static_cast<std::size_t>(read.tensor)];
+
+    std::vector<bool> done(n, false);
+    std::vector<ScheduledStatement> newOrder;
+    newOrder.reserve(n);
+    for (std::size_t step = 0; step < n; ++step) {
+      int best = -1;
+      std::int64_t bestScore = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (done[i])
+          continue;
+        bool ready = true;
+        for (int pred : rawPreds[i])
+          if (!done[static_cast<std::size_t>(pred)])
+            ready = false;
+        if (!ready)
+          continue;
+        // Bytes freed by last uses minus bytes newly made live.
+        std::int64_t score = 0;
+        for (const auto& read : schedule.statements[i].reads) {
+          const auto& tensor = program.tensor(read.tensor);
+          if (!tensor.isInterface() &&
+              remainingUses[static_cast<std::size_t>(read.tensor)] == 1)
+            score += tensor.type.numElements();
+        }
+        const auto& target =
+            program.tensor(schedule.statements[i].write.tensor);
+        if (!target.isInterface())
+          score -= target.type.numElements();
+        if (best < 0 || score > bestScore) {
+          best = static_cast<int>(i);
+          bestScore = score;
+        }
+      }
+      CFD_ASSERT(best >= 0, "list scheduling found no ready statement");
+      done[static_cast<std::size_t>(best)] = true;
+      for (const auto& read :
+           schedule.statements[static_cast<std::size_t>(best)].reads)
+        --remainingUses[static_cast<std::size_t>(read.tensor)];
+      if (best != static_cast<int>(step))
+        ++stats.statementsMoved;
+      newOrder.push_back(
+          std::move(schedule.statements[static_cast<std::size_t>(best)]));
+    }
+    schedule.statements = std::move(newOrder);
+  }
+
+  if (options.permuteLoops) {
+    for (auto& stmt : schedule.statements) {
+      if (stmt.loops.size() < 2)
+        continue;
+      std::vector<LoopDim> best = stmt.loops;
+      std::int64_t bestCost = permutationCost(schedule, program, stmt,
+                                              stmt.loops, options.objective);
+      std::vector<LoopDim> candidate = stmt.loops;
+      std::sort(candidate.begin(), candidate.end(),
+                [](const LoopDim& a, const LoopDim& b) {
+                  return a.domainDim < b.domainDim;
+                });
+      do {
+        const std::int64_t cost = permutationCost(schedule, program, stmt,
+                                                  candidate,
+                                                  options.objective);
+        if (cost < bestCost) {
+          bestCost = cost;
+          best = candidate;
+        }
+      } while (std::next_permutation(
+          candidate.begin(), candidate.end(),
+          [](const LoopDim& a, const LoopDim& b) {
+            return a.domainDim < b.domainDim;
+          }));
+      const bool changed = !std::equal(
+          best.begin(), best.end(), stmt.loops.begin(),
+          [](const LoopDim& a, const LoopDim& b) {
+            return a.domainDim == b.domainDim;
+          });
+      if (changed) {
+        stmt.loops = std::move(best);
+        refreshAccesses(program, stmt);
+        ++stats.loopNestsPermuted;
+      }
+    }
+  }
+  return stats;
+}
+
+} // namespace cfd::sched

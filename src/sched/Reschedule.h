@@ -1,0 +1,49 @@
+// Pluto-lite rescheduling (paper §IV-E, step iii).
+//
+// Replaces the isl/Pluto scheduler of the paper with two dependence-driven
+// heuristics that pursue the same objectives on this program class:
+//
+//  * statement reordering by list scheduling, using RAW distance as the
+//    cost so producer/consumer statements move close together, shrinking
+//    live intervals (and therefore temporary storage pressure);
+//  * per-statement loop permutation. For the Hardware objective the
+//    permutation avoids a reduction dimension in the innermost loop: a
+//    floating-point accumulator carried by the innermost loop forces the
+//    pipeline II up to the adder latency, while any other order allows
+//    II = 1 with a read-modify-write on the target PLM. For the Software
+//    objective the permutation minimizes innermost access strides
+//    (cache locality), which prefers the reduction innermost with a
+//    register accumulator — exactly the shape of the paper's ARM
+//    reference code.
+#pragma once
+
+#include "sched/Schedule.h"
+
+namespace cfd::sched {
+
+enum class ScheduleObjective {
+  Hardware, // HLS-friendly: no reduction in the innermost loop
+  Software, // CPU-friendly: minimize innermost strides
+};
+
+struct RescheduleOptions {
+  ScheduleObjective objective = ScheduleObjective::Hardware;
+  bool permuteLoops = true;
+  bool reorderStatements = true;
+};
+
+struct RescheduleStats {
+  int statementsMoved = 0;
+  int loopNestsPermuted = 0;
+};
+
+/// Reschedules in place; returns what changed.
+RescheduleStats reschedule(Schedule& schedule,
+                           const RescheduleOptions& options = {});
+
+/// Cost of the innermost loop of `stmt` under the Software objective:
+/// the sum of absolute flat-offset strides of all accesses.
+std::int64_t innermostStrideCost(const Schedule& schedule,
+                                 const ScheduledStatement& stmt);
+
+} // namespace cfd::sched

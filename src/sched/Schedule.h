@@ -1,0 +1,100 @@
+// Schedules: executable loop-program structure for a tensor program
+// (paper §IV-C / §IV-E).
+//
+// A Schedule is a total order of statements, each a perfectly-nested loop
+// band over the statement's inner domain. The *reference schedule* is the
+// implicit order defined by the CFDlang program: statements in program
+// order, output dimensions outermost, reduction dimensions innermost.
+// Rescheduling (Reschedule.h) permutes loop bands and reorders statements
+// under dependence constraints.
+//
+// Schedule-space positions are lexicographic: statement index first, then
+// loop indices outer-to-inner — the flattened [seq, i, j, ...] tuples of
+// the paper's polyhedral formulation.
+#pragma once
+
+#include "ir/TensorIR.h"
+#include "sched/Layout.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cfd::sched {
+
+/// One loop of a statement's band.
+struct LoopDim {
+  int domainDim = 0;      // dimension of the op's inner domain
+  std::int64_t extent = 0;
+  bool isReduction = false;
+};
+
+/// One scheduled statement: a loop nest executing a single tensor op.
+struct ScheduledStatement {
+  int opIndex = -1;             // index into ir::Program::operations()
+  std::string name;             // S<opIndex>, for reports
+  std::vector<LoopDim> loops;   // outer-to-inner
+
+  // Accesses re-expressed over the *loop* space (after permutation).
+  ir::Access write;
+  std::vector<ir::Access> reads;
+
+  // Body semantics (copied from the op for convenience).
+  ir::OpKind kind = ir::OpKind::Copy;
+  ir::EntryWiseKind entryWise = ir::EntryWiseKind::Add;
+  double scalar = 0.0;
+  /// True when the statement accumulates into its target and needs a
+  /// zero-initialization of the output elements beforehand.
+  bool needsInit = false;
+
+  std::int64_t tripCount() const;
+  /// Loop position of `domainDim`, or -1.
+  int loopPositionOf(int domainDim) const;
+  /// True if the innermost loop is a reduction dimension (which creates a
+  /// loop-carried RAW on the accumulator and limits pipelining).
+  bool innermostIsReduction() const;
+};
+
+/// A complete schedule of a tensor program.
+struct Schedule {
+  const ir::Program* program = nullptr;
+  LayoutAssignment layouts;
+  std::vector<ScheduledStatement> statements;
+
+  std::string str() const;
+
+  /// isl-style flat schedule maps (paper §IV-C): one line per statement,
+  ///   S0[d0, d1, d2] -> [0, d0, d1, d2]
+  /// where the leading static dimension is the statement position and
+  /// the dynamic dimensions follow the chosen loop order.
+  std::string islStr() const;
+};
+
+/// Builds the reference schedule (paper §IV-C): program order, output dims
+/// outermost in target order, reduction dims innermost.
+Schedule buildReferenceSchedule(const ir::Program& program,
+                                const LayoutOptions& layoutOptions = {});
+
+/// Re-derives the loop-space accesses of `stmt` from its op after the
+/// loop order changed. `program` must be the owning program.
+void refreshAccesses(const ir::Program& program, ScheduledStatement& stmt);
+
+/// The loop-carried self-dependence of an accumulating statement: the
+/// accumulator of output element o is written again when the innermost
+/// reduction loop advances by one. `distance` is that dependence
+/// expressed as a loop-space vector (a unit step on the innermost
+/// reduction dimension); `flattenedDistance` is the same dependence in
+/// flattened iteration order — the number of pipeline initiations
+/// between the two accesses, which bounds the achievable II (see
+/// hls::analyzeKernel).
+struct SelfDependence {
+  std::vector<std::int64_t> distance;
+  std::int64_t flattenedDistance = 0;
+};
+
+/// Returns the accumulator self-dependence of `stmt`, or std::nullopt
+/// for non-accumulating statements.
+std::optional<SelfDependence>
+accumulatorSelfDependence(const ScheduledStatement& stmt);
+
+} // namespace cfd::sched

@@ -1,0 +1,159 @@
+#include "sem/HelmholtzOperator.h"
+
+#include "support/Error.h"
+
+#include <cmath>
+
+namespace cfd::sem {
+
+std::vector<double> HelmholtzFactors::S() const {
+  std::vector<double> s(static_cast<std::size_t>(n * n));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      s[static_cast<std::size_t>(i * n + j)] = phi.at(j, i); // Phi^T
+  return s;
+}
+
+std::vector<double> HelmholtzFactors::D() const {
+  std::vector<double> d(static_cast<std::size_t>(n * n * n));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k)
+        d[static_cast<std::size_t>((i * n + j) * n + k)] =
+            1.0 / (lambda[static_cast<std::size_t>(i)] +
+                   lambda[static_cast<std::size_t>(j)] +
+                   lambda[static_cast<std::size_t>(k)] + kappa);
+  return d;
+}
+
+HelmholtzFactors buildInverseHelmholtz(int p, double kappa) {
+  CFD_ASSERT(p >= 1, "degree must be >= 1");
+  CFD_ASSERT(kappa > 0, "kappa must be positive (invertibility)");
+  HelmholtzFactors factors;
+  factors.n = p + 1;
+  factors.kappa = kappa;
+
+  const GllRule rule = gllRule(p);
+  factors.mass = Matrix::diagonal(rule.weights);
+
+  // K = D1^T M D1 with the GLL differentiation matrix D1.
+  const std::vector<double> d1 = gllDifferentiationMatrix(rule);
+  Matrix D1(factors.n, d1);
+  factors.stiffness = D1.transposed() * factors.mass * D1;
+
+  // Generalized eigenproblem K Phi = M Phi Lambda via the symmetric
+  // standard form A = M^{-1/2} K M^{-1/2} (M is diagonal positive).
+  std::vector<double> invSqrtM(rule.weights.size());
+  for (std::size_t i = 0; i < rule.weights.size(); ++i)
+    invSqrtM[i] = 1.0 / std::sqrt(rule.weights[i]);
+  const Matrix half = Matrix::diagonal(invSqrtM);
+  const Matrix a = half * factors.stiffness * half;
+  const EigenDecomposition eigen = jacobiEigen(a);
+
+  factors.lambda = eigen.values;
+  factors.phi = half * eigen.vectors; // Phi = M^{-1/2} Y, Phi^T M Phi = I
+  return factors;
+}
+
+namespace {
+
+/// Applies a 1-D operator A along dimension `dim` of the n^3 field u:
+/// out[...i...] = sum_j A(i, j) u[...j...].
+std::vector<double> applyAlong(const Matrix& a, int dim,
+                               const std::vector<double>& u, int n) {
+  std::vector<double> out(u.size(), 0.0);
+  const auto offset = [&](int i, int j, int k) {
+    return static_cast<std::size_t>((i * n + j) * n + k);
+  };
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k) {
+        double sum = 0.0;
+        for (int q = 0; q < n; ++q) {
+          switch (dim) {
+          case 0:
+            sum += a.at(i, q) * u[offset(q, j, k)];
+            break;
+          case 1:
+            sum += a.at(j, q) * u[offset(i, q, k)];
+            break;
+          default:
+            sum += a.at(k, q) * u[offset(i, j, q)];
+            break;
+          }
+        }
+        out[offset(i, j, k)] = sum;
+      }
+  return out;
+}
+
+} // namespace
+
+std::vector<double> applyForward(const HelmholtzFactors& factors,
+                                 const std::vector<double>& u) {
+  const int n = factors.n;
+  CFD_ASSERT(u.size() == static_cast<std::size_t>(n * n * n),
+             "field size mismatch");
+  // H u = kappa (M M M) u + (K M M) u + (M K M) u + (M M K) u.
+  const auto mmm = applyAlong(
+      factors.mass, 0,
+      applyAlong(factors.mass, 1, applyAlong(factors.mass, 2, u, n), n), n);
+  const auto kmm = applyAlong(
+      factors.stiffness, 0,
+      applyAlong(factors.mass, 1, applyAlong(factors.mass, 2, u, n), n), n);
+  const auto mkm = applyAlong(
+      factors.mass, 0,
+      applyAlong(factors.stiffness, 1, applyAlong(factors.mass, 2, u, n), n),
+      n);
+  const auto mmk = applyAlong(
+      factors.mass, 0,
+      applyAlong(factors.mass, 1, applyAlong(factors.stiffness, 2, u, n), n),
+      n);
+  std::vector<double> out(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i)
+    out[i] = factors.kappa * mmm[i] + kmm[i] + mkm[i] + mmk[i];
+  return out;
+}
+
+std::vector<double> diagonal2D(const HelmholtzFactors& factors) {
+  const int n = factors.n;
+  std::vector<double> d(static_cast<std::size_t>(n * n));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      d[static_cast<std::size_t>(i * n + j)] =
+          1.0 / (factors.lambda[static_cast<std::size_t>(i)] +
+                 factors.lambda[static_cast<std::size_t>(j)] +
+                 factors.kappa);
+  return d;
+}
+
+std::vector<double> applyForward2D(const HelmholtzFactors& factors,
+                                   const std::vector<double>& u) {
+  const int n = factors.n;
+  CFD_ASSERT(u.size() == static_cast<std::size_t>(n * n),
+             "field size mismatch");
+  const auto apply = [&](const Matrix& a, int dim,
+                         const std::vector<double>& field) {
+    std::vector<double> out(field.size(), 0.0);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) {
+        double sum = 0.0;
+        for (int q = 0; q < n; ++q)
+          sum += dim == 0
+                     ? a.at(i, q) * field[static_cast<std::size_t>(q * n + j)]
+                     : a.at(j, q) *
+                           field[static_cast<std::size_t>(i * n + q)];
+        out[static_cast<std::size_t>(i * n + j)] = sum;
+      }
+    return out;
+  };
+  const auto mm = apply(factors.mass, 0, apply(factors.mass, 1, u));
+  const auto km = apply(factors.stiffness, 0, apply(factors.mass, 1, u));
+  const auto mk = apply(factors.mass, 0, apply(factors.stiffness, 1, u));
+  std::vector<double> out(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i)
+    out[i] = factors.kappa * mm[i] + km[i] + mk[i];
+  return out;
+}
+
+} // namespace cfd::sem

@@ -1,0 +1,63 @@
+// The spectral-element Helmholtz operator and its fast-diagonalization
+// inverse (paper §II-A, Eq. 1a-1c; Huismann et al., JCP 346, 2017).
+//
+// On one reference element with lumped GLL mass matrix M and stiffness
+// matrix K (both 1-D, size n = p+1), the 3-D Helmholtz operator is
+//
+//   H = kappa * M(x)M(x)M + K(x)M(x)M + M(x)K(x)M + M(x)M(x)K .
+//
+// With the generalized eigendecomposition K Phi = M Phi Lambda
+// (Phi^T M Phi = I), the inverse factorizes into exactly the tensor
+// kernel of the paper's Fig. 1:
+//
+//   u = (Phi (x) Phi (x) Phi) [ D  o  (Phi^T (x) Phi^T (x) Phi^T) f ]
+//   D_ijk = 1 / (lambda_i + lambda_j + lambda_k + kappa)
+//
+// i.e. the CFDlang program "t = S#S#S#u.[[1 6][3 7][5 8]]; r = D*t;
+// v = S#S#S#r.[[0 6][2 7][4 8]]" with S = Phi^T. buildInverseHelmholtz
+// produces those S and D inputs; applyForward applies H directly so
+// tests can verify that the compiled accelerator output actually solves
+// the PDE system.
+#pragma once
+
+#include "sem/Matrix.h"
+#include "sem/Quadrature.h"
+
+#include <vector>
+
+namespace cfd::sem {
+
+struct HelmholtzFactors {
+  int n = 0;               // points per dimension (p + 1)
+  double kappa = 1.0;      // Helmholtz parameter
+  Matrix mass;             // 1-D lumped GLL mass matrix (diagonal)
+  Matrix stiffness;        // 1-D stiffness matrix K = D^T M D
+  Matrix phi;              // generalized eigenvectors, Phi^T M Phi = I
+  std::vector<double> lambda; // generalized eigenvalues, ascending
+
+  /// The DSL kernel's S input: S = Phi^T, row-major n*n.
+  std::vector<double> S() const;
+  /// The DSL kernel's D input: D_ijk = 1/(l_i + l_j + l_k + kappa),
+  /// row-major n^3.
+  std::vector<double> D() const;
+};
+
+/// Builds mass/stiffness on the GLL points of degree p and solves the
+/// generalized eigenproblem.
+HelmholtzFactors buildInverseHelmholtz(int p, double kappa);
+
+/// Applies the forward operator H to the field `u` (row-major n^3) —
+/// the dense verification path.
+std::vector<double> applyForward(const HelmholtzFactors& factors,
+                                 const std::vector<double>& u);
+
+/// The 2-D variant on quadrilateral elements (kernels/helmholtz2d.cfd):
+/// H2 = kappa * M(x)M + K(x)M + M(x)K applied to a row-major n^2 field.
+/// The DSL kernel's D input becomes D_ij = 1/(l_i + l_j + kappa).
+std::vector<double> applyForward2D(const HelmholtzFactors& factors,
+                                   const std::vector<double>& u);
+
+/// D input of the 2-D kernel, row-major n^2.
+std::vector<double> diagonal2D(const HelmholtzFactors& factors);
+
+} // namespace cfd::sem

@@ -1,0 +1,155 @@
+#include "sem/Matrix.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cfd::sem {
+
+Matrix::Matrix(int n, std::vector<double> data)
+    : n_(n), data_(std::move(data)) {
+  CFD_ASSERT(data_.size() == static_cast<std::size_t>(n * n),
+             "matrix data size mismatch");
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n);
+  for (int i = 0; i < n; ++i)
+    m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const std::vector<double>& entries) {
+  Matrix m(static_cast<int>(entries.size()));
+  for (int i = 0; i < m.size(); ++i)
+    m.at(i, i) = entries[static_cast<std::size_t>(i)];
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(n_);
+  for (int i = 0; i < n_; ++i)
+    for (int j = 0; j < n_; ++j)
+      t.at(j, i) = at(i, j);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  CFD_ASSERT(n_ == other.n_, "matrix size mismatch");
+  Matrix result(n_);
+  for (int i = 0; i < n_; ++i)
+    for (int k = 0; k < n_; ++k) {
+      const double a = at(i, k);
+      if (a == 0.0)
+        continue;
+      for (int j = 0; j < n_; ++j)
+        result.at(i, j) += a * other.at(k, j);
+    }
+  return result;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  CFD_ASSERT(n_ == other.n_, "matrix size mismatch");
+  Matrix result(n_);
+  for (int i = 0; i < n_; ++i)
+    for (int j = 0; j < n_; ++j)
+      result.at(i, j) = at(i, j) + other.at(i, j);
+  return result;
+}
+
+Matrix Matrix::scaled(double factor) const {
+  Matrix result = *this;
+  for (int i = 0; i < n_; ++i)
+    for (int j = 0; j < n_; ++j)
+      result.at(i, j) *= factor;
+  return result;
+}
+
+double Matrix::distance(const Matrix& other) const {
+  CFD_ASSERT(n_ == other.n_, "matrix size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double Matrix::symmetryDefect() const {
+  double defect = 0.0;
+  for (int i = 0; i < n_; ++i)
+    for (int j = i + 1; j < n_; ++j)
+      defect = std::max(defect, std::abs(at(i, j) - at(j, i)));
+  return defect;
+}
+
+EigenDecomposition jacobiEigen(const Matrix& symmetric, int maxSweeps) {
+  CFD_ASSERT(symmetric.symmetryDefect() < 1e-9,
+             "Jacobi eigensolver needs a symmetric matrix");
+  const int n = symmetric.size();
+  Matrix a = symmetric;
+  Matrix v = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < maxSweeps; ++sweep) {
+    double off = 0.0;
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
+        off += a.at(i, j) * a.at(i, j);
+    if (off < 1e-28)
+      break;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (std::abs(apq) < 1e-300)
+          continue;
+        const double theta = (a.at(q, q) - a.at(p, p)) / (2.0 * apq);
+        const double t =
+            (theta >= 0 ? 1.0 : -1.0) /
+            (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation G(p, q, theta) on both sides.
+        for (int k = 0; k < n; ++k) {
+          const double akp = a.at(k, p);
+          const double akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = a.at(p, k);
+          const double aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p);
+          const double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue, permuting eigenvector columns.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    return a.at(x, x) < a.at(y, y);
+  });
+  EigenDecomposition result;
+  result.values.resize(static_cast<std::size_t>(n));
+  result.vectors = Matrix(n);
+  for (int j = 0; j < n; ++j) {
+    result.values[static_cast<std::size_t>(j)] =
+        a.at(order[static_cast<std::size_t>(j)],
+             order[static_cast<std::size_t>(j)]);
+    for (int i = 0; i < n; ++i)
+      result.vectors.at(i, j) = v.at(i, order[static_cast<std::size_t>(j)]);
+  }
+  return result;
+}
+
+} // namespace cfd::sem

@@ -1,0 +1,54 @@
+// Small dense linear algebra for the SEM operator construction: just
+// enough (multiply, transpose, symmetric Jacobi eigendecomposition) to
+// build the fast-diagonalization factors, with no external dependency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cfd::sem {
+
+/// Dense row-major n x n matrix.
+class Matrix {
+public:
+  Matrix() = default;
+  explicit Matrix(int n) : n_(n), data_(static_cast<std::size_t>(n * n)) {}
+  Matrix(int n, std::vector<double> data);
+
+  static Matrix identity(int n);
+  static Matrix diagonal(const std::vector<double>& entries);
+
+  int size() const { return n_; }
+  double& at(int i, int j) { return data_[index(i, j)]; }
+  double at(int i, int j) const { return data_[index(i, j)]; }
+  const std::vector<double>& data() const { return data_; }
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& other) const;
+  Matrix operator+(const Matrix& other) const;
+  Matrix scaled(double factor) const;
+
+  /// Frobenius norm of (this - other).
+  double distance(const Matrix& other) const;
+  /// max_ij |a_ij - a_ji| — symmetry defect.
+  double symmetryDefect() const;
+
+private:
+  std::size_t index(int i, int j) const {
+    return static_cast<std::size_t>(i * n_ + j);
+  }
+
+  int n_ = 0;
+  std::vector<double> data_;
+};
+
+struct EigenDecomposition {
+  std::vector<double> values;  // ascending
+  Matrix vectors;              // columns are the eigenvectors
+};
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix. Accurate to
+/// ~1e-13 for the small (p+1)-sized operators used here.
+EigenDecomposition jacobiEigen(const Matrix& symmetric, int maxSweeps = 64);
+
+} // namespace cfd::sem

@@ -1,0 +1,107 @@
+#include "sem/Quadrature.h"
+
+#include "support/Error.h"
+
+#include <cmath>
+
+namespace cfd::sem {
+
+double legendre(int n, double x) {
+  CFD_ASSERT(n >= 0, "negative Legendre degree");
+  if (n == 0)
+    return 1.0;
+  if (n == 1)
+    return x;
+  double pm2 = 1.0;
+  double pm1 = x;
+  for (int k = 2; k <= n; ++k) {
+    const double pk =
+        ((2.0 * k - 1.0) * x * pm1 - (k - 1.0) * pm2) / static_cast<double>(k);
+    pm2 = pm1;
+    pm1 = pk;
+  }
+  return pm1;
+}
+
+double legendreDerivative(int n, double x) {
+  CFD_ASSERT(n >= 0, "negative Legendre degree");
+  if (n == 0)
+    return 0.0;
+  // (1 - x^2) P'_n = n (P_{n-1} - x P_n); at the endpoints use the known
+  // closed form P'_n(+-1) = (+-1)^{n-1} n (n+1) / 2.
+  const double oneMinusX2 = 1.0 - x * x;
+  if (std::abs(oneMinusX2) < 1e-14) {
+    const double sign = (x > 0 || n % 2 == 1) ? 1.0 : -1.0;
+    return sign * 0.5 * static_cast<double>(n) *
+           static_cast<double>(n + 1);
+  }
+  return static_cast<double>(n) * (legendre(n - 1, x) - x * legendre(n, x)) /
+         oneMinusX2;
+}
+
+GllRule gllRule(int p) {
+  CFD_ASSERT(p >= 1, "GLL rule needs degree >= 1");
+  const int n = p + 1;
+  GllRule rule;
+  rule.nodes.resize(static_cast<std::size_t>(n));
+  rule.weights.resize(static_cast<std::size_t>(n));
+
+  rule.nodes.front() = -1.0;
+  rule.nodes.back() = 1.0;
+  // Interior nodes: roots of P'_p via Newton iteration on q(x) = P'_p(x),
+  // q'(x) from the Legendre ODE: (1-x^2) P''_p = 2x P'_p - p(p+1) P_p.
+  for (int i = 1; i < n - 1; ++i) {
+    // Chebyshev-like initial guess.
+    double x = -std::cos(M_PI * static_cast<double>(i) /
+                         static_cast<double>(p));
+    for (int iter = 0; iter < 100; ++iter) {
+      const double dp = legendreDerivative(p, x);
+      const double ddp = (2.0 * x * dp -
+                          static_cast<double>(p) *
+                              static_cast<double>(p + 1) * legendre(p, x)) /
+                         (1.0 - x * x);
+      const double step = dp / ddp;
+      x -= step;
+      if (std::abs(step) < 1e-15)
+        break;
+    }
+    rule.nodes[static_cast<std::size_t>(i)] = x;
+  }
+
+  const double scale =
+      2.0 / (static_cast<double>(p) * static_cast<double>(p + 1));
+  for (int i = 0; i < n; ++i) {
+    const double lp = legendre(p, rule.nodes[static_cast<std::size_t>(i)]);
+    rule.weights[static_cast<std::size_t>(i)] = scale / (lp * lp);
+  }
+  return rule;
+}
+
+std::vector<double> gllDifferentiationMatrix(const GllRule& rule) {
+  const int n = static_cast<int>(rule.nodes.size());
+  const int p = n - 1;
+  std::vector<double> d(static_cast<std::size_t>(n * n), 0.0);
+  const auto at = [&](int q, int i) -> double& {
+    return d[static_cast<std::size_t>(q * n + i)];
+  };
+  for (int q = 0; q < n; ++q) {
+    for (int i = 0; i < n; ++i) {
+      const double xq = rule.nodes[static_cast<std::size_t>(q)];
+      const double xi = rule.nodes[static_cast<std::size_t>(i)];
+      if (q != i) {
+        at(q, i) = legendre(p, xq) / (legendre(p, xi) * (xq - xi));
+      } else if (q == 0) {
+        at(q, i) = -0.25 * static_cast<double>(p) *
+                   static_cast<double>(p + 1);
+      } else if (q == p) {
+        at(q, i) = 0.25 * static_cast<double>(p) *
+                   static_cast<double>(p + 1);
+      } else {
+        at(q, i) = 0.0;
+      }
+    }
+  }
+  return d;
+}
+
+} // namespace cfd::sem

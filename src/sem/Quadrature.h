@@ -1,0 +1,34 @@
+// Gauss-Lobatto-Legendre (GLL) quadrature for spectral element methods
+// (paper §II-A). SEM discretizations collocate each element on the p+1
+// GLL points per dimension; the lumped mass matrix is diagonal with the
+// GLL weights, which is what makes the fast-diagonalization Inverse
+// Helmholtz (Huismann et al., JCP 346, 2017 — the paper's ref [13])
+// applicable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cfd::sem {
+
+/// Legendre polynomial P_n(x) by the three-term recurrence.
+double legendre(int n, double x);
+
+/// Derivative P'_n(x) (stable recurrence form).
+double legendreDerivative(int n, double x);
+
+struct GllRule {
+  std::vector<double> nodes;   // p+1 points in [-1, 1], ascending
+  std::vector<double> weights; // positive, sum to 2
+};
+
+/// The p+1 point GLL rule: nodes are the roots of (1-x^2) P'_p(x),
+/// weights w_i = 2 / (p (p+1) P_p(x_i)^2). Exact for polynomials up to
+/// degree 2p-1.
+GllRule gllRule(int p);
+
+/// The GLL differentiation matrix D with D[q][i] = l_i'(x_q), where l_i
+/// is the Lagrange basis on the GLL nodes (row-major (p+1)^2 entries).
+std::vector<double> gllDifferentiationMatrix(const GllRule& rule);
+
+} // namespace cfd::sem

@@ -1,0 +1,102 @@
+#include "sim/PlatformSim.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <sstream>
+
+namespace cfd::sim {
+
+SimResult simulateSystem(const sysgen::SystemDesign& design,
+                         const hls::KernelReport& kernel,
+                         const SimOptions& options) {
+  CFD_ASSERT(options.numElements > 0, "nothing to simulate");
+  SimResult result;
+  result.numElements = options.numElements;
+
+  const double usPerCycle = 1.0 / kernel.clockMHz;
+  const double bytesPerUs = options.axiBandwidthGBs * 1e3; // GB/s -> B/us
+
+  const std::int64_t m = design.m;
+  const std::int64_t k = design.k;
+
+  // One round: all k accelerators execute in parallel; the AXI-lite
+  // peripheral broadcasts start and aggregates the k done signals
+  // sequentially before raising the interrupt.
+  const std::int64_t roundCycles = kernel.totalCycles +
+                                   hls::kRoundBaseOverheadCycles +
+                                   hls::kPerKernelDoneCycles * k;
+
+  // With double buffering, half the PLM units stream while the other
+  // half computes: effective batch capacity halves per iteration.
+  const bool doubleBuffered =
+      options.strategy == TransferStrategy::DoubleBuffered && m >= 2;
+  const std::int64_t capacity = doubleBuffered ? m / 2 : m;
+
+  double previousExecUs = 0.0;
+  std::int64_t remaining = options.numElements;
+  while (remaining > 0) {
+    const std::int64_t elements =
+        std::min<std::int64_t>(capacity, remaining);
+    remaining -= elements;
+    ++result.mainLoopIterations;
+
+    const double inUs =
+        static_cast<double>(design.inputBytesPerElement * elements) /
+        bytesPerUs;
+    const double outUs =
+        static_cast<double>(design.outputBytesPerElement * elements) /
+        bytesPerUs;
+    result.transferTimeUs += inUs + outUs;
+
+    // batch rounds; a partial tail still takes full rounds for the
+    // occupied PLM units.
+    const std::int64_t roundsNeeded = (elements + k - 1) / k;
+    result.rounds += roundsNeeded;
+    const double execUs =
+        static_cast<double>(roundCycles * roundsNeeded) * usPerCycle;
+    result.kernelTimeUs += execUs;
+
+    if (doubleBuffered) {
+      // This iteration's transfers run while the previous iteration's
+      // rounds execute on the other PLM half; only the exposed part
+      // (beyond the previous execution) costs wall-clock time.
+      result.overlappedTimeUs += std::min(inUs + outUs, previousExecUs);
+      previousExecUs = execUs;
+    }
+  }
+  return result;
+}
+
+std::string SimResult::str() const {
+  std::ostringstream os;
+  os << formatThousands(numElements) << " elements in "
+     << formatThousands(mainLoopIterations) << " main-loop iterations, "
+     << formatThousands(rounds) << " rounds\n";
+  os << "  kernel time:   " << formatFixed(kernelTimeUs / 1e3, 2) << " ms\n";
+  os << "  transfer time: " << formatFixed(transferTimeUs / 1e3, 2)
+     << " ms\n";
+  os << "  total:         " << formatFixed(totalTimeUs() / 1e3, 2)
+     << " ms (" << formatFixed(usPerElement(), 2) << " us/element)\n";
+  return os.str();
+}
+
+double cpuTimeUsPerElement(const eval::OpCounts& counts,
+                           const hls::CpuCosts& costs, double clockMHz) {
+  const double cycles =
+      static_cast<double>(counts.fmul) * costs.fmul +
+      static_cast<double>(counts.fadd) * costs.fadd +
+      static_cast<double>(counts.fdiv) * costs.fdiv +
+      static_cast<double>(counts.loads) * costs.load +
+      static_cast<double>(counts.stores) * costs.store +
+      static_cast<double>(counts.loopIterations) * costs.loopIteration;
+  return cycles / clockMHz;
+}
+
+double cpuTotalTimeUs(const eval::OpCounts& countsPerElement,
+                      std::int64_t numElements) {
+  return cpuTimeUsPerElement(countsPerElement) *
+         static_cast<double>(numElements);
+}
+
+} // namespace cfd::sim

@@ -1,0 +1,75 @@
+// Cycle-level platform simulation (replaces the ZCU106 board, DESIGN.md
+// §2). Models the execution loop of the generated host program:
+//
+//   for each main-loop iteration (Ne/m of them):
+//     transfer inputs for m elements over the AXI HP path,
+//     run batch = m/k rounds: start broadcast, k kernels execute in
+//       parallel, sequential done-aggregation, interrupt,
+//     transfer outputs for m elements.
+//
+// The hardware timers of the paper correspond to the two accumulators
+// kernelTimeUs (execution only) and totalTimeUs (with transfers).
+#pragma once
+
+#include "eval/Evaluator.h"
+#include "hls/HlsModel.h"
+#include "sysgen/SystemGenerator.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cfd::sim {
+
+/// How host transfers interleave with accelerator execution.
+enum class TransferStrategy {
+  /// The paper's implementation: the main loop serializes transfer-in,
+  /// execution rounds, transfer-out.
+  Blocking,
+  /// Future-work projection (paper §VIII "better data transfer
+  /// strategies"): ping-pong PLM halves so the transfers of the next
+  /// element batch overlap the current execution. Requires m >= 2 (half
+  /// the PLM units stream while the other half computes).
+  DoubleBuffered,
+};
+
+struct SimOptions {
+  std::int64_t numElements = 50000; // the paper's prototypical simulation
+  double axiBandwidthGBs = hls::kAxiBandwidthGBs;
+  TransferStrategy strategy = TransferStrategy::Blocking;
+};
+
+struct SimResult {
+  std::int64_t numElements = 0;
+  std::int64_t rounds = 0;          // start/interrupt handshakes
+  std::int64_t mainLoopIterations = 0;
+
+  double kernelTimeUs = 0;   // accelerator execution (incl. control)
+  double transferTimeUs = 0; // host <-> PLM data movement (raw)
+  /// Transfer time hidden behind execution (double buffering only).
+  double overlappedTimeUs = 0;
+  double totalTimeUs() const {
+    return kernelTimeUs + transferTimeUs - overlappedTimeUs;
+  }
+
+  double usPerElement() const {
+    return totalTimeUs() / static_cast<double>(numElements);
+  }
+  std::string str() const;
+};
+
+/// Simulates the full CFD run on the generated system.
+SimResult simulateSystem(const sysgen::SystemDesign& design,
+                         const hls::KernelReport& kernel,
+                         const SimOptions& options = {});
+
+/// ARM Cortex-A53 timing model: converts measured dynamic operation
+/// counts of one element into microseconds at 1.2 GHz.
+double cpuTimeUsPerElement(const eval::OpCounts& counts,
+                           const hls::CpuCosts& costs = hls::kCortexA53,
+                           double clockMHz = hls::kCpuClockMHz);
+
+/// Software execution of the whole simulation on the CPU model.
+double cpuTotalTimeUs(const eval::OpCounts& countsPerElement,
+                      std::int64_t numElements);
+
+} // namespace cfd::sim

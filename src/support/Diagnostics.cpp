@@ -1,0 +1,54 @@
+#include "support/Diagnostics.h"
+
+#include "support/Error.h"
+
+#include <sstream>
+
+namespace cfd {
+
+namespace {
+const char* severityName(Severity severity) {
+  switch (severity) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+} // namespace
+
+std::string Diagnostic::str() const {
+  std::ostringstream os;
+  os << location.str() << ": " << severityName(severity) << ": " << message;
+  return os.str();
+}
+
+void Diagnostics::error(SourceLocation loc, std::string message) {
+  diagnostics_.push_back({Severity::Error, loc, std::move(message)});
+  ++errorCount_;
+}
+
+void Diagnostics::warning(SourceLocation loc, std::string message) {
+  diagnostics_.push_back({Severity::Warning, loc, std::move(message)});
+}
+
+void Diagnostics::note(SourceLocation loc, std::string message) {
+  diagnostics_.push_back({Severity::Note, loc, std::move(message)});
+}
+
+std::string Diagnostics::str() const {
+  std::ostringstream os;
+  for (const auto& diag : diagnostics_)
+    os << diag.str() << "\n";
+  return os.str();
+}
+
+void Diagnostics::throwIfErrors(const std::string& phase) const {
+  if (hasErrors())
+    throw FlowError(phase + " failed:\n" + str());
+}
+
+} // namespace cfd

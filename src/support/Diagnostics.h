@@ -1,0 +1,46 @@
+// Diagnostic collection for the CFDlang frontend and flow passes.
+//
+// Errors are accumulated rather than thrown so the frontend can report
+// multiple problems in one run; callers check hasErrors() at phase
+// boundaries.
+#pragma once
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace cfd {
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLocation location;
+  std::string message;
+
+  std::string str() const;
+};
+
+class Diagnostics {
+public:
+  void error(SourceLocation loc, std::string message);
+  void warning(SourceLocation loc, std::string message);
+  void note(SourceLocation loc, std::string message);
+
+  bool hasErrors() const { return errorCount_ > 0; }
+  std::size_t errorCount() const { return errorCount_; }
+  const std::vector<Diagnostic>& all() const { return diagnostics_; }
+
+  /// Renders every diagnostic, one per line.
+  std::string str() const;
+
+  /// Throws FlowError with the rendered diagnostics if any error occurred.
+  void throwIfErrors(const std::string& phase) const;
+
+private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t errorCount_ = 0;
+};
+
+} // namespace cfd

@@ -1,0 +1,14 @@
+#include "support/Error.h"
+
+namespace cfd {
+
+InternalError::InternalError(const std::string& what, const char* file,
+                             int line)
+    : std::logic_error(what + " (" + file + ":" + std::to_string(line) + ")"),
+      file_(file), line_(line) {}
+
+void reportInternalError(const std::string& msg, const char* file, int line) {
+  throw InternalError(msg, file, line);
+}
+
+} // namespace cfd

@@ -1,0 +1,51 @@
+// Error handling primitives for the cfdlang-fpga flow.
+//
+// The flow distinguishes two failure classes:
+//  * user errors (malformed DSL, infeasible constraints) -> FlowError,
+//    reported with source locations through Diagnostics;
+//  * internal invariant violations -> CFD_ASSERT, which throws
+//    InternalError so tests can exercise failure paths without aborting.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cfd {
+
+/// Error caused by invalid user input (DSL source, options, constraints).
+class FlowError : public std::runtime_error {
+public:
+  explicit FlowError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Violation of an internal invariant; indicates a bug in the flow itself.
+class InternalError : public std::logic_error {
+public:
+  InternalError(const std::string& what, const char* file, int line);
+
+  const char* file() const noexcept { return file_; }
+  int line() const noexcept { return line_; }
+
+private:
+  const char* file_;
+  int line_;
+};
+
+[[noreturn]] void reportInternalError(const std::string& msg, const char* file,
+                                      int line);
+
+} // namespace cfd
+
+/// Always-on assertion that throws cfd::InternalError on failure.
+#define CFD_ASSERT(cond, msg)                                                  \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::cfd::reportInternalError(std::string("assertion failed: ") + #cond +  \
+                                     ": " + (msg),                             \
+                                 __FILE__, __LINE__);                          \
+  } while (false)
+
+/// Marks unreachable code paths.
+#define CFD_UNREACHABLE(msg)                                                   \
+  ::cfd::reportInternalError(std::string("unreachable: ") + (msg), __FILE__,  \
+                             __LINE__)

@@ -1,0 +1,40 @@
+// Small string formatting helpers shared across the flow.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cfd {
+
+/// Joins the elements of `items` with `sep`, using operator<< to print.
+template <typename Range>
+std::string join(const Range& items, const std::string& sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first)
+      os << sep;
+    os << item;
+    first = false;
+  }
+  return os.str();
+}
+
+/// Formats a shape such as [11 11 11].
+std::string formatShape(const std::vector<std::int64_t>& shape);
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string formatFixed(double value, int digits);
+
+/// Formats a quantity with thousands separators, e.g. 42679 -> "42,679".
+std::string formatThousands(std::int64_t value);
+
+/// Left-pads `s` with spaces to at least `width` characters.
+std::string padLeft(const std::string& s, std::size_t width);
+
+/// Right-pads `s` with spaces to at least `width` characters.
+std::string padRight(const std::string& s, std::size_t width);
+
+} // namespace cfd

@@ -1,0 +1,17 @@
+#include "support/SourceLocation.h"
+
+namespace cfd {
+
+std::string SourceLocation::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(line) + ":" + std::to_string(column);
+}
+
+std::string SourceRange::str() const {
+  if (!begin.isValid())
+    return "<unknown>";
+  return begin.str() + "-" + end.str();
+}
+
+} // namespace cfd

@@ -1,0 +1,28 @@
+// Source locations for DSL diagnostics.
+#pragma once
+
+#include <string>
+
+namespace cfd {
+
+/// A 1-based (line, column) position in a CFDlang source buffer.
+struct SourceLocation {
+  int line = 0;
+  int column = 0;
+
+  bool isValid() const { return line > 0 && column > 0; }
+  std::string str() const;
+
+  friend bool operator==(const SourceLocation&,
+                         const SourceLocation&) = default;
+};
+
+/// Half-open range of source positions.
+struct SourceRange {
+  SourceLocation begin;
+  SourceLocation end;
+
+  std::string str() const;
+};
+
+} // namespace cfd

@@ -1,0 +1,87 @@
+// System generation (paper §V-B).
+//
+// Replicates the accelerator (k instances) and the PLM units (m
+// instances, power-of-two multiple of k; batch = m/k), checks the
+// resource equation [H]*k + [M]*m <= [A] (Eq. 3), and produces:
+//
+//  * the chosen architecture variant (Fig. 7 a/b/c),
+//  * the full-system resource roll-up (base AXI infrastructure +
+//    per-replica integration logic; constants validated against every
+//    row of the paper's Table I),
+//  * the power-of-two aligned host address map for the PLM windows,
+//  * the generated host control code (start command over AXI-lite,
+//    interrupt wait, batch counter management).
+#pragma once
+
+#include "hls/HlsModel.h"
+#include "mem/Mnemosyne.h"
+
+#include <string>
+#include <vector>
+
+namespace cfd::sysgen {
+
+enum class ArchitectureVariant {
+  SingleKernel,   // Fig. 7a: m = k = 1
+  ParallelEqual,  // Fig. 7b: m = k > 1
+  Batched,        // Fig. 7c: m > k
+};
+
+const char* architectureVariantName(ArchitectureVariant variant);
+
+struct SystemOptions {
+  /// Requested number of PLM units; 0 = fit as many as possible.
+  int memories = 0;
+  /// Requested number of accelerators; 0 = equal to memories.
+  int kernels = 0;
+  hls::DeviceResources device = hls::kZu7ev;
+  /// BRAMs reserved for interfaces/DMA buffering (pre-characterized).
+  int reservedBram36 = 8;
+};
+
+/// One interface array's window in a PLM unit's host address map.
+struct AddressMapEntry {
+  std::string array;
+  std::int64_t byteOffset = 0; // within the PLM window
+  std::int64_t byteSize = 0;   // payload bytes
+  std::int64_t windowBytes = 0; // power-of-two aligned window
+};
+
+struct SystemDesign {
+  int m = 1;
+  int k = 1;
+  int batch = 1; // m / k
+  ArchitectureVariant variant = ArchitectureVariant::SingleKernel;
+
+  hls::Resources perKernel;  // accelerator logic (from HLS report)
+  int plmBram36PerUnit = 0;  // memory subsystem of one PLM instance
+  hls::Resources total;      // whole system on the device
+
+  std::int64_t inputBytesPerElement = 0;  // host -> PLM per element
+  std::int64_t outputBytesPerElement = 0; // PLM -> host per element
+  std::int64_t plmWindowBytes = 0;        // power-of-two PLM window
+
+  std::vector<AddressMapEntry> addressMap;
+
+  std::string str() const;
+};
+
+/// Builds the system design. Throws FlowError when the requested m/k are
+/// infeasible (Eq. 3 violated, or m not a power-of-two multiple of k).
+SystemDesign generateSystem(const hls::KernelReport& kernel,
+                            const mem::MemoryPlan& plan,
+                            const sched::Schedule& schedule,
+                            const SystemOptions& options = {});
+
+/// Largest power-of-two m with m = k that satisfies Eq. 3.
+int maxEqualReplicas(const hls::KernelReport& kernel,
+                     const mem::MemoryPlan& plan,
+                     const SystemOptions& options = {});
+
+/// Emits the host-side control program (C, paper §V-B): per main-loop
+/// iteration transfer inputs for m elements, run m/k rounds via the
+/// AXI-lite peripheral, wait for the interrupt, read back outputs.
+std::string emitHostCode(const SystemDesign& design,
+                         const sched::Schedule& schedule);
+
+} // namespace cfd::sysgen

@@ -1,0 +1,62 @@
+// Shared CFDlang test programs.
+#pragma once
+
+namespace cfd::test {
+
+/// The paper's Fig. 1: the Inverse Helmholtz operator at p = 11.
+inline constexpr const char* kInverseHelmholtz = R"(
+var input  S : [11 11]
+var input  D : [11 11 11]
+var input  u : [11 11 11]
+var output v : [11 11 11]
+var t : [11 11 11]
+var r : [11 11 11]
+t = S # S # S # u . [[1 6] [3 7] [5 8]]
+r = D * t
+v = S # S # S # r . [[0 6] [2 7] [4 8]]
+)";
+
+/// Same operator at an arbitrary polynomial degree (extent = p + 1).
+inline std::string inverseHelmholtzSource(int extent) {
+  const std::string n = std::to_string(extent);
+  std::string src;
+  src += "var input  S : [" + n + " " + n + "]\n";
+  src += "var input  D : [" + n + " " + n + " " + n + "]\n";
+  src += "var input  u : [" + n + " " + n + " " + n + "]\n";
+  src += "var output v : [" + n + " " + n + " " + n + "]\n";
+  src += "var t : [" + n + " " + n + " " + n + "]\n";
+  src += "var r : [" + n + " " + n + " " + n + "]\n";
+  src += "t = S # S # S # u . [[1 6] [3 7] [5 8]]\n";
+  src += "r = D * t\n";
+  src += "v = S # S # S # r . [[0 6] [2 7] [4 8]]\n";
+  return src;
+}
+
+/// Spectral interpolation (mentioned in the paper as a simpler operator
+/// subsumed by the Inverse Helmholtz): v = (I (x) I (x) I) u.
+inline constexpr const char* kInterpolation = R"(
+var input  I : [13 11]
+var input  u : [11 11 11]
+var output v : [13 13 13]
+v = I # I # I # u . [[1 6] [3 7] [5 8]]
+)";
+
+/// A 2-D matrix-matrix like contraction for small exact tests.
+inline constexpr const char* kMatMul2D = R"(
+var input  A : [4 5]
+var input  B : [5 6]
+var output C : [4 6]
+C = A # B . [[1 2]]
+)";
+
+/// Entry-wise chain exercising +, -, *, / and scalar broadcast.
+inline constexpr const char* kEntryWiseChain = R"(
+var input  a : [7 9]
+var input  b : [7 9]
+var output c : [7 9]
+var w : [7 9]
+w = a * b + a - b
+c = w / b * 2 + 1
+)";
+
+} // namespace cfd::test

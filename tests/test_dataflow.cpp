@@ -1,0 +1,118 @@
+#include "core/Flow.h"
+#include "mem/Dataflow.h"
+#include "sched/Reschedule.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+namespace cfd::mem {
+namespace {
+
+TEST(DataflowTest, HelmholtzChainDependences) {
+  const Flow flow = Flow::compile(test::kInverseHelmholtz);
+  const DataflowInfo info = analyzeDataflow(flow.schedule());
+  const auto raw = info.ofKind(DependenceKind::RAW);
+  // Producer/consumer chain: t0->t1->t->r->t2->t3->v = 6 RAW edges.
+  EXPECT_EQ(raw.size(), 6u);
+  for (const auto& dep : raw)
+    EXPECT_EQ(dep.distance(), 1) << "chain should be tight after "
+                                    "rescheduling";
+  // No WAW in pseudo-SSA.
+  EXPECT_TRUE(info.ofKind(DependenceKind::WAW).empty());
+  // S is shared by all six contractions: RAR edges present.
+  EXPECT_FALSE(info.ofKind(DependenceKind::RAR).empty());
+}
+
+TEST(DataflowTest, RawDistanceIsMinimalAfterListScheduling) {
+  // The list scheduler minimizes RAW distance; for the Helmholtz chain
+  // the optimum is 6 (every producer directly before its consumer).
+  const Flow flow = Flow::compile(test::kInverseHelmholtz);
+  EXPECT_EQ(analyzeDataflow(flow.schedule()).totalRawDistance(), 6);
+}
+
+TEST(DataflowTest, PrintingNamesArrays) {
+  const Flow flow = Flow::compile(test::kInverseHelmholtz);
+  const DataflowInfo info = analyzeDataflow(flow.schedule());
+  const std::string text = info.str(flow.program());
+  EXPECT_NE(text.find("RAW"), std::string::npos);
+  EXPECT_NE(text.find("via t0"), std::string::npos);
+}
+
+TEST(VerifyScheduleTest, AcceptsLegalSchedules) {
+  const Flow flow = Flow::compile(test::kInverseHelmholtz);
+  EXPECT_EQ(verifySchedule(flow.schedule()), "");
+  // All objectives produce legal schedules.
+  FlowOptions sw;
+  sw.reschedule.objective = sched::ScheduleObjective::Software;
+  EXPECT_EQ(
+      verifySchedule(Flow::compile(test::kInverseHelmholtz, sw).schedule()),
+      "");
+}
+
+TEST(VerifyScheduleTest, DetectsIllegalReordering) {
+  const Flow flow = Flow::compile(test::kInverseHelmholtz);
+  sched::Schedule broken = flow.schedule();
+  // Swap a producer after its consumer.
+  std::swap(broken.statements[0], broken.statements[1]);
+  const std::string violation = verifySchedule(broken);
+  EXPECT_NE(violation.find("before it is written"), std::string::npos);
+}
+
+TEST(VerifyScheduleTest, DetectsMissingOutput) {
+  const Flow flow = Flow::compile(test::kInverseHelmholtz);
+  sched::Schedule broken = flow.schedule();
+  broken.statements.pop_back(); // drop the statement writing v
+  const std::string violation = verifySchedule(broken);
+  EXPECT_NE(violation.find("never written"), std::string::npos);
+}
+
+TEST(VerifyScheduleTest, DetectsDoubleWrite) {
+  const Flow flow = Flow::compile(test::kInverseHelmholtz);
+  sched::Schedule broken = flow.schedule();
+  broken.statements.push_back(broken.statements.back());
+  const std::string violation = verifySchedule(broken);
+  EXPECT_NE(violation.find("pseudo-SSA"), std::string::npos);
+}
+
+// Property: every rescheduling configuration on every test program
+// yields a legal schedule.
+struct ScheduleCase {
+  const char* source;
+  sched::ScheduleObjective objective;
+  bool permute;
+  bool reorder;
+};
+
+class ScheduleLegality : public ::testing::TestWithParam<ScheduleCase> {};
+
+TEST_P(ScheduleLegality, RescheduleIsAlwaysLegal) {
+  const ScheduleCase& c = GetParam();
+  FlowOptions options;
+  options.reschedule.objective = c.objective;
+  options.reschedule.permuteLoops = c.permute;
+  options.reschedule.reorderStatements = c.reorder;
+  const Flow flow = Flow::compile(c.source, options);
+  EXPECT_EQ(verifySchedule(flow.schedule()), "");
+  EXPECT_LE(flow.validate(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ScheduleLegality,
+    ::testing::Values(
+        ScheduleCase{test::kInverseHelmholtz,
+                     sched::ScheduleObjective::Hardware, true, true},
+        ScheduleCase{test::kInverseHelmholtz,
+                     sched::ScheduleObjective::Software, true, false},
+        ScheduleCase{test::kInverseHelmholtz,
+                     sched::ScheduleObjective::Hardware, false, true},
+        ScheduleCase{test::kInterpolation,
+                     sched::ScheduleObjective::Hardware, true, true},
+        ScheduleCase{test::kInterpolation,
+                     sched::ScheduleObjective::Software, true, true},
+        ScheduleCase{test::kEntryWiseChain,
+                     sched::ScheduleObjective::Hardware, true, true},
+        ScheduleCase{test::kMatMul2D,
+                     sched::ScheduleObjective::Software, true, true}));
+
+} // namespace
+} // namespace cfd::mem

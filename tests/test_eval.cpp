@@ -1,0 +1,204 @@
+#include "dsl/Parser.h"
+#include "eval/Evaluator.h"
+#include "ir/Lowering.h"
+#include "sched/Reschedule.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace cfd::eval {
+namespace {
+
+constexpr double kTolerance = 1e-9;
+
+struct Pipeline {
+  dsl::Program ast;
+  std::unique_ptr<ir::Program> program;
+  sched::Schedule schedule;
+};
+
+Pipeline build(const std::string& source,
+               sched::LayoutOptions layoutOptions = {}) {
+  Pipeline p;
+  p.ast = dsl::parseAndCheck(source);
+  p.program =
+      std::make_unique<ir::Program>(ir::lower(p.ast));
+  p.schedule = sched::buildReferenceSchedule(*p.program, layoutOptions);
+  return p;
+}
+
+/// Runs the interpreter on `schedule` against the reference evaluation of
+/// the AST and returns the max output error.
+double compareAgainstReference(const Pipeline& p) {
+  std::map<std::string, DenseTensor> reference;
+  TensorStore store(*p.program, p.schedule.layouts);
+  std::uint64_t seed = 1;
+  for (const auto& tensor : p.program->tensors()) {
+    if (tensor.kind != ir::TensorKind::Input)
+      continue;
+    const DenseTensor value = makeTestInput(tensor.type.shape, seed++);
+    reference[tensor.name] = value;
+    store.import(tensor.id, value);
+  }
+  evaluateReference(p.ast, reference);
+  execute(p.schedule, store);
+  double maxError = 0.0;
+  for (const auto& tensor : p.program->tensors()) {
+    if (tensor.kind != ir::TensorKind::Output)
+      continue;
+    const DenseTensor actual = store.exportTensor(tensor.id);
+    maxError = std::max(
+        maxError, maxAbsDifference(actual, reference.at(tensor.name)));
+  }
+  return maxError;
+}
+
+TEST(EvaluatorTest, MatMulMatchesReference) {
+  EXPECT_LE(compareAgainstReference(build(test::kMatMul2D)), kTolerance);
+}
+
+TEST(EvaluatorTest, MatMulExactSmallCase) {
+  // 2x2 known result.
+  Pipeline p = build("var input A : [2 2]\nvar input B : [2 2]\n"
+                     "var output C : [2 2]\nC = A # B . [[1 2]]");
+  TensorStore store(*p.program, p.schedule.layouts);
+  DenseTensor a = DenseTensor::zeros({2, 2});
+  a.data = {1, 2, 3, 4};
+  DenseTensor b = DenseTensor::zeros({2, 2});
+  b.data = {5, 6, 7, 8};
+  store.import(p.program->findTensor("A")->id, a);
+  store.import(p.program->findTensor("B")->id, b);
+  execute(p.schedule, store);
+  const DenseTensor c = store.exportTensor(p.program->findTensor("C")->id);
+  EXPECT_DOUBLE_EQ(c.data[0], 19);
+  EXPECT_DOUBLE_EQ(c.data[1], 22);
+  EXPECT_DOUBLE_EQ(c.data[2], 43);
+  EXPECT_DOUBLE_EQ(c.data[3], 50);
+}
+
+TEST(EvaluatorTest, InverseHelmholtzMatchesReference) {
+  // p = 5 keeps the O(p^6) reference evaluation fast.
+  EXPECT_LE(compareAgainstReference(build(test::inverseHelmholtzSource(5))),
+            kTolerance);
+}
+
+TEST(EvaluatorTest, InverseHelmholtzPaperSize) {
+  EXPECT_LE(compareAgainstReference(build(test::kInverseHelmholtz)),
+            1e-8);
+}
+
+TEST(EvaluatorTest, InterpolationMatchesReference) {
+  EXPECT_LE(compareAgainstReference(build(test::kInterpolation)),
+            kTolerance);
+}
+
+TEST(EvaluatorTest, EntryWiseChainMatchesReference) {
+  EXPECT_LE(compareAgainstReference(build(test::kEntryWiseChain)),
+            kTolerance);
+}
+
+TEST(EvaluatorTest, RescheduledHardwareVariantMatches) {
+  Pipeline p = build(test::kInverseHelmholtz);
+  sched::RescheduleOptions options;
+  options.objective = sched::ScheduleObjective::Hardware;
+  sched::reschedule(p.schedule, options);
+  EXPECT_LE(compareAgainstReference(p), 1e-8);
+}
+
+TEST(EvaluatorTest, RescheduledSoftwareVariantMatches) {
+  Pipeline p = build(test::kInverseHelmholtz);
+  sched::RescheduleOptions options;
+  options.objective = sched::ScheduleObjective::Software;
+  sched::reschedule(p.schedule, options);
+  EXPECT_LE(compareAgainstReference(p), 1e-8);
+}
+
+TEST(EvaluatorTest, ColumnMajorLayoutMatches) {
+  sched::LayoutOptions layouts;
+  layouts.defaultLayout = sched::LayoutKind::ColumnMajor;
+  EXPECT_LE(compareAgainstReference(
+                build(test::inverseHelmholtzSource(5), layouts)),
+            kTolerance);
+}
+
+TEST(EvaluatorTest, MixedLayoutsMatch) {
+  sched::LayoutOptions layouts;
+  layouts.perTensor["u"] = sched::LayoutKind::ColumnMajor;
+  layouts.perTensor["v"] = sched::LayoutKind::ColumnMajor;
+  EXPECT_LE(compareAgainstReference(
+                build(test::inverseHelmholtzSource(5), layouts)),
+            kTolerance);
+}
+
+TEST(EvaluatorTest, OpCountsMatchStaticWork) {
+  Pipeline p = build(test::kInverseHelmholtz);
+  TensorStore store(*p.program, p.schedule.layouts);
+  for (const auto& tensor : p.program->tensors())
+    if (tensor.kind == ir::TensorKind::Input)
+      store.import(tensor.id, makeTestInput(tensor.type.shape, 7));
+  const OpCounts counts = execute(p.schedule, store);
+  const std::int64_t p4 = 11LL * 11 * 11 * 11;
+  EXPECT_EQ(counts.fmul, 6 * p4 + 1331);
+  EXPECT_EQ(counts.fadd, 6 * p4);
+  EXPECT_EQ(counts.statements, 7);
+  EXPECT_EQ(counts.loopIterations, 6 * p4 + 1331);
+}
+
+TEST(EvaluatorTest, RegisterAccumulationReducesStores) {
+  // Reference schedule (reduction innermost) stores once per output
+  // element; the hardware schedule read-modify-writes per iteration.
+  Pipeline ref = build(test::kMatMul2D);
+  Pipeline hw = build(test::kMatMul2D);
+  sched::reschedule(hw.schedule, {});
+  TensorStore refStore(*ref.program, ref.schedule.layouts);
+  TensorStore hwStore(*hw.program, hw.schedule.layouts);
+  for (const auto& tensor : ref.program->tensors())
+    if (tensor.kind == ir::TensorKind::Input) {
+      refStore.import(tensor.id, makeTestInput(tensor.type.shape, 3));
+      hwStore.import(
+          hw.program->findTensor(tensor.name)->id,
+          makeTestInput(tensor.type.shape, 3));
+    }
+  const OpCounts refCounts = execute(ref.schedule, refStore);
+  const OpCounts hwCounts = execute(hw.schedule, hwStore);
+  EXPECT_LT(refCounts.stores, hwCounts.stores);
+  // Both compute the same result.
+  EXPECT_LE(maxAbsDifference(
+                refStore.exportTensor(ref.program->findTensor("C")->id),
+                hwStore.exportTensor(hw.program->findTensor("C")->id)),
+            kTolerance);
+}
+
+TEST(TensorStoreTest, ImportExportRoundTrip) {
+  Pipeline p = build(test::kMatMul2D);
+  TensorStore store(*p.program, p.schedule.layouts);
+  const DenseTensor value = makeTestInput({4, 5}, 99);
+  const ir::TensorId id = p.program->findTensor("A")->id;
+  store.import(id, value);
+  EXPECT_EQ(maxAbsDifference(store.exportTensor(id), value), 0.0);
+}
+
+TEST(TensorStoreTest, OutOfBoundsAccessThrows) {
+  Pipeline p = build(test::kMatMul2D);
+  TensorStore store(*p.program, p.schedule.layouts);
+  const ir::TensorId id = p.program->findTensor("A")->id;
+  EXPECT_THROW(store.load(id, 20), InternalError);
+  EXPECT_THROW(store.store(id, -1, 0.0), InternalError);
+}
+
+TEST(MakeTestInputTest, DeterministicAndBounded) {
+  const DenseTensor a = makeTestInput({11, 11}, 42);
+  const DenseTensor b = makeTestInput({11, 11}, 42);
+  const DenseTensor c = makeTestInput({11, 11}, 43);
+  EXPECT_EQ(maxAbsDifference(a, b), 0.0);
+  EXPECT_GT(maxAbsDifference(a, c), 0.0);
+  for (double v : a.data) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+} // namespace
+} // namespace cfd::eval

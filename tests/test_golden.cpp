@@ -1,0 +1,97 @@
+// Golden-artifact tests: exact snapshots of the generated artifacts for
+// a small fixed kernel. These pin down the emitter contracts (C99
+// shape, Mnemosyne config format, host protocol constants); any
+// intentional change must update the goldens.
+#include "core/Flow.h"
+
+#include <gtest/gtest.h>
+
+namespace cfd {
+namespace {
+
+constexpr const char* kTinyMatMul = R"(
+var input  A : [2 3]
+var input  B : [3 2]
+var output C : [2 2]
+C = A # B . [[1 2]]
+)";
+
+Flow compileTiny() {
+  FlowOptions options;
+  options.system.memories = 1;
+  options.system.kernels = 1;
+  return Flow::compile(kTinyMatMul, options);
+}
+
+TEST(GoldenTest, TensorIRDump) {
+  const Flow flow = compileTiny();
+  EXPECT_EQ(flow.program().str(),
+            "input A : [2 3]\n"
+            "input B : [3 2]\n"
+            "output C : [2 2]\n"
+            "C = contract(A, B, pairs={(1,0)})\n");
+}
+
+TEST(GoldenTest, KernelPrototype) {
+  const Flow flow = compileTiny();
+  EXPECT_EQ(flow.kernelPrototype(),
+            "void kernel_body(const double A[restrict static 6], "
+            "const double B[restrict static 6], "
+            "double C[restrict static 4])");
+}
+
+TEST(GoldenTest, GeneratedCContainsExactLoopNest) {
+  const Flow flow = compileTiny();
+  const std::string code = flow.cCode();
+  // Hardware objective: k (the reduction) is not innermost; the
+  // accumulation goes through the target array.
+  EXPECT_NE(code.find("C[2*i0 + i2] += A[3*i0 + i1] * B[2*i1 + i2];"),
+            std::string::npos)
+      << code;
+  // Zero-init loop precedes it.
+  EXPECT_NE(code.find("C[2*i0 + i1] = 0.0;"), std::string::npos) << code;
+}
+
+TEST(GoldenTest, MnemosyneConfigSnapshot) {
+  const Flow flow = compileTiny();
+  const std::string config = flow.mnemosyneConfig();
+  EXPECT_NE(config.find("A depth=6 width=64 kind=input live=[-1,0]"),
+            std::string::npos)
+      << config;
+  EXPECT_NE(config.find("C depth=4 width=64 kind=output live=[0,1]"),
+            std::string::npos)
+      << config;
+  EXPECT_NE(config.find("S0 writes C reads A B rmw"), std::string::npos)
+      << config;
+}
+
+TEST(GoldenTest, HostCodeProtocolConstants) {
+  const Flow flow = compileTiny();
+  const std::string host = flow.hostCode();
+  EXPECT_NE(host.find("#define CFD_M 1"), std::string::npos);
+  // Windows: A 64 B (48 padded), B 64 B, C 32 B -> 160 B -> 0x100.
+  EXPECT_NE(host.find("#define CFD_PLM_WINDOW 0x100"), std::string::npos)
+      << host;
+}
+
+TEST(GoldenTest, CompatibilityDotSnapshot) {
+  const Flow flow = compileTiny();
+  const std::string dot = flow.compatibilityDot();
+  // The single MAC statement reads A, B and (read-modify-write) C, so
+  // no pair is interface compatible and none is lifetime-disjoint.
+  EXPECT_EQ(dot,
+            "graph compatibility {\n"
+            "  A [shape=box];\n"
+            "  B [shape=box];\n"
+            "  C [shape=box];\n"
+            "}\n");
+}
+
+TEST(GoldenTest, UnaryMinusParsesAndEvaluates) {
+  const Flow flow = Flow::compile(
+      "var input a : [4]\nvar output b : [4]\nb = -a * 2 + a");
+  EXPECT_LE(flow.validate(), 1e-12);
+}
+
+} // namespace
+} // namespace cfd

@@ -1,0 +1,116 @@
+#include "core/Flow.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+namespace cfd::hls {
+namespace {
+
+Flow compileHelmholtz(FlowOptions options = {}) {
+  return Flow::compile(test::kInverseHelmholtz, options);
+}
+
+TEST(HlsModelTest, KernelResourcesMatchPaperWithinTolerance) {
+  // Paper §VI: 2,314 LUT, 2,999 FF, 15 DSP. The estimator is calibrated
+  // once; assert it stays within 5%.
+  const Flow flow = compileHelmholtz();
+  const Resources& res = flow.kernelReport().resources;
+  EXPECT_NEAR(res.lut, 2314, 2314 * 0.05);
+  EXPECT_NEAR(res.ff, 2999, 2999 * 0.05);
+  EXPECT_EQ(res.dsp, 15);
+  EXPECT_EQ(res.bram36, 0); // decoupled: all arrays exported
+}
+
+TEST(HlsModelTest, RescheduledKernelReachesIIOne) {
+  const Flow flow = compileHelmholtz();
+  for (const auto& stmt : flow.kernelReport().statements)
+    EXPECT_EQ(stmt.ii, 1) << stmt.name;
+}
+
+TEST(HlsModelTest, ReferenceScheduleLimitedByAdderRecurrence) {
+  FlowOptions options;
+  options.reschedule.permuteLoops = false;
+  options.reschedule.reorderStatements = false;
+  const Flow flow = compileHelmholtz(options);
+  // Reduction innermost: II = double-adder latency on every contraction.
+  int limited = 0;
+  for (const auto& stmt : flow.kernelReport().statements)
+    if (stmt.ii == kDAdd.latency)
+      ++limited;
+  EXPECT_EQ(limited, 6);
+  // And the kernel is several times slower.
+  const Flow fast = compileHelmholtz();
+  EXPECT_GT(flow.kernelReport().totalCycles,
+            3 * fast.kernelReport().totalCycles);
+}
+
+TEST(HlsModelTest, LatencyDominatedByMacTrips) {
+  const Flow flow = compileHelmholtz();
+  const std::int64_t macWork = 6LL * 11 * 11 * 11 * 11;
+  const std::int64_t cycles = flow.kernelReport().totalCycles;
+  // II=1 pipelining: total is the MAC trip count plus inits/overheads,
+  // well under 15% above the floor.
+  EXPECT_GT(cycles, macWork);
+  EXPECT_LT(cycles, macWork + macWork / 6);
+}
+
+TEST(HlsModelTest, TimeUsMatchesClock) {
+  const Flow flow = compileHelmholtz();
+  const KernelReport& report = flow.kernelReport();
+  EXPECT_NEAR(report.timeUs(),
+              static_cast<double>(report.totalCycles) / 200.0, 1e-9);
+}
+
+TEST(HlsModelTest, DivisionAllocatesDivider) {
+  const Flow flow = Flow::compile(test::kEntryWiseChain);
+  const Resources& res = flow.kernelReport().resources;
+  // The divider is LUT-based (0 DSP) and large.
+  EXPECT_GT(res.lut, kDDiv.lut);
+}
+
+TEST(HlsModelTest, CopyOnlyKernelUsesNoFpu) {
+  const Flow flow =
+      Flow::compile("var input a : [8 8]\nvar output b : [8 8]\nb = a");
+  const Resources& res = flow.kernelReport().resources;
+  EXPECT_EQ(res.dsp, kIndexArithmeticDsp);
+  EXPECT_LT(res.lut, 500);
+}
+
+TEST(HlsModelTest, NonDecoupledAddsInternalBram) {
+  FlowOptions options;
+  options.memory.decoupled = false;
+  const Flow flow = compileHelmholtz(options);
+  EXPECT_EQ(flow.kernelReport().resources.bram36, 24);
+}
+
+TEST(HlsModelTest, ReportPrinting) {
+  const Flow flow = compileHelmholtz();
+  const std::string report = flow.kernelReport().str();
+  EXPECT_NE(report.find("II=1"), std::string::npos);
+  EXPECT_NE(report.find("cycles"), std::string::npos);
+}
+
+// Property sweep: latency scales with p^4 for the Helmholtz kernel.
+class LatencyScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(LatencyScaling, CyclesTrackP4) {
+  const int n = GetParam();
+  const Flow flow = Flow::compile(test::inverseHelmholtzSource(n));
+  const std::int64_t macWork = 6LL * n * n * n * n;
+  const std::int64_t cycles = flow.kernelReport().totalCycles;
+  EXPECT_GT(cycles, macWork);
+  // For small extents the innermost trip cannot hide the PLM
+  // read-modify-write recurrence, so II rises to ceil(rmwLatency / n).
+  const std::int64_t rmwLatency =
+      kBramReadLatency + kDAdd.latency + kBramWriteLatency;
+  const std::int64_t ii = std::max<std::int64_t>(1, (rmwLatency + n - 1) / n);
+  for (const auto& stmt : flow.kernelReport().statements)
+    EXPECT_LE(stmt.ii, ii) << stmt.name;
+  EXPECT_LT(cycles, ii * macWork + 7 * (n * n * n + 40));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, LatencyScaling,
+                         ::testing::Values(3, 5, 7, 9, 11, 13));
+
+} // namespace
+} // namespace cfd::hls

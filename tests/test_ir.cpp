@@ -1,0 +1,196 @@
+#include "dsl/Parser.h"
+#include "ir/Analysis.h"
+#include "ir/Lowering.h"
+#include "ir/Transforms.h"
+#include "support/Error.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+namespace cfd::ir {
+namespace {
+
+Program lowerSource(const char* source, LoweringOptions options = {}) {
+  return lower(dsl::parseAndCheck(source), options);
+}
+
+TEST(LoweringTest, Fig1ProducesFig6Arrays) {
+  const Program program = lowerSource(test::kInverseHelmholtz);
+  // The paper's Fig. 6 kernel interface: S, D, u, v, t, r, t0..t3.
+  EXPECT_EQ(program.tensors().size(), 10u);
+  for (const char* name :
+       {"S", "D", "u", "v", "t", "r", "t0", "t1", "t2", "t3"})
+    EXPECT_NE(program.findTensor(name), nullptr) << name;
+  // Transients carry the intermediate shape [11 11 11].
+  EXPECT_EQ(program.findTensor("t0")->type.shape,
+            (std::vector<std::int64_t>{11, 11, 11}));
+  EXPECT_EQ(program.findTensor("t0")->kind, TensorKind::Transient);
+  // 7 statements: 3 + 1 (Hadamard) + 3.
+  EXPECT_EQ(program.operations().size(), 7u);
+}
+
+TEST(LoweringTest, ContractionSplitReducesWork) {
+  // Each binary contraction is O(p^4): 3 * 11^4 per original contraction,
+  // plus 11^3 multiplies for the Hadamard product.
+  const Program program = lowerSource(test::kInverseHelmholtz);
+  const OpWork work = totalWork(program);
+  const std::int64_t p4 = 11LL * 11 * 11 * 11;
+  EXPECT_EQ(work.fmul, 6 * p4 + 11 * 11 * 11);
+  EXPECT_EQ(work.fadd, 6 * p4);
+}
+
+TEST(LoweringTest, SingleContractionStatementShapes) {
+  const Program program = lowerSource(test::kMatMul2D);
+  ASSERT_EQ(program.operations().size(), 1u);
+  const Operation& op = program.operations()[0];
+  EXPECT_EQ(op.kind, OpKind::Contract);
+  ASSERT_EQ(op.pairs.size(), 1u);
+  // C[i,j] = sum_k A[i,k] B[k,j]; domain = [4, 6, 5].
+  const poly::Box domain = program.domain(op);
+  EXPECT_EQ(domain.shape(), (std::vector<std::int64_t>{4, 6, 5}));
+  EXPECT_EQ(program.numOutputDims(op), 2);
+}
+
+TEST(LoweringTest, AccessMapsMatchMatMulSemantics) {
+  const Program program = lowerSource(test::kMatMul2D);
+  const Operation& op = program.operations()[0];
+  const auto reads = program.readAccesses(op);
+  ASSERT_EQ(reads.size(), 2u);
+  // Domain point (i=1, j=2, k=3): A[1,3], B[3,2], C[1,2].
+  const std::int64_t point[] = {1, 2, 3};
+  EXPECT_EQ(reads[0].map.evaluate(point),
+            (std::vector<std::int64_t>{1, 3}));
+  EXPECT_EQ(reads[1].map.evaluate(point),
+            (std::vector<std::int64_t>{3, 2}));
+  EXPECT_EQ(program.writeAccess(op).map.evaluate(point),
+            (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(LoweringTest, TraceIsRejected) {
+  EXPECT_THROW(lowerSource("var input A : [3 3]\nvar output s : []\n"
+                           "s = A . [[0 1]]"),
+               FlowError);
+}
+
+TEST(LoweringTest, LeftToRightFactorizationAlsoVerifies) {
+  LoweringOptions options;
+  options.factorization = FactorizationOrder::LeftToRight;
+  const Program program = lowerSource(test::kInverseHelmholtz, options);
+  EXPECT_EQ(program.operations().size(), 7u);
+  EXPECT_NO_THROW(program.verify());
+}
+
+TEST(LoweringTest, EntryWiseChain) {
+  const Program program = lowerSource(test::kEntryWiseChain);
+  // All statements are entry-wise or fills.
+  for (const auto& op : program.operations())
+    EXPECT_TRUE(op.kind == OpKind::EntryWise || op.kind == OpKind::Fill);
+  EXPECT_NO_THROW(program.verify());
+}
+
+TEST(LoweringTest, DirectCopyAssignment) {
+  const Program program =
+      lowerSource("var input a : [5]\nvar output b : [5]\nb = a");
+  ASSERT_EQ(program.operations().size(), 1u);
+  EXPECT_EQ(program.operations()[0].kind, OpKind::Copy);
+}
+
+TEST(ProgramTest, VerifyCatchesUseBeforeDef) {
+  Program program;
+  const TensorId a =
+      program.addTensor("a", TensorKind::Input, TensorType{{4}});
+  const TensorId b =
+      program.addTensor("b", TensorKind::Output, TensorType{{4}});
+  const TensorId t =
+      program.addTensor("t", TensorKind::Transient, TensorType{{4}});
+  Operation bad;
+  bad.kind = OpKind::Copy;
+  bad.target = b;
+  bad.lhs = t; // t is never written
+  program.addOperation(bad);
+  EXPECT_THROW(program.verify(), InternalError);
+  (void)a;
+}
+
+TEST(ProgramTest, VerifyCatchesWriteToInput) {
+  Program program;
+  const TensorId a =
+      program.addTensor("a", TensorKind::Input, TensorType{{4}});
+  const TensorId b =
+      program.addTensor("b", TensorKind::Input, TensorType{{4}});
+  Operation bad;
+  bad.kind = OpKind::Copy;
+  bad.target = a;
+  bad.lhs = b;
+  program.addOperation(bad);
+  EXPECT_THROW(program.verify(), InternalError);
+}
+
+TEST(ProgramTest, InterfaceOrderGroupsKinds) {
+  const Program program = lowerSource(test::kInverseHelmholtz);
+  const auto order = program.interfaceOrder();
+  ASSERT_EQ(order.size(), 10u);
+  // Inputs first (S, D, u), then output v, then locals t/r, then t0..t3.
+  EXPECT_EQ(program.tensor(order[0]).name, "S");
+  EXPECT_EQ(program.tensor(order[3]).name, "v");
+  EXPECT_EQ(program.tensor(order[4]).kind, TensorKind::Local);
+  EXPECT_EQ(program.tensor(order[9]).kind, TensorKind::Transient);
+}
+
+TEST(TransformsTest, CanonicalizeDropsIdentityCopies) {
+  // 'w = a' materializes as a copy into the local w; the canonicalizer
+  // keeps interface contracts but removes transient-level copies.
+  Program program = lowerSource(
+      "var input a : [4]\nvar output b : [4]\nvar w : [4]\nw = a\nb = w + a");
+  const std::size_t before = program.operations().size();
+  const CanonicalizeStats stats = canonicalize(program);
+  EXPECT_LE(program.operations().size(), before);
+  EXPECT_NO_THROW(program.verify());
+  (void)stats;
+}
+
+TEST(AnalysisTest, TransitiveOperandSets) {
+  const Program program = lowerSource(test::kInverseHelmholtz);
+  const auto sets = transitiveOperandSets(program);
+  const TensorId v = program.findTensor("v")->id;
+  const TensorId u = program.findTensor("u")->id;
+  const TensorId S = program.findTensor("S")->id;
+  const TensorId D = program.findTensor("D")->id;
+  // v transitively depends on everything.
+  EXPECT_TRUE(sets.at(v).count(u));
+  EXPECT_TRUE(sets.at(v).count(S));
+  EXPECT_TRUE(sets.at(v).count(D));
+  // u depends on nothing.
+  EXPECT_TRUE(sets.at(u).empty());
+}
+
+TEST(AnalysisTest, DefUseChains) {
+  const Program program = lowerSource(test::kInverseHelmholtz);
+  const auto defs = definingStatement(program);
+  const auto uses = readingStatements(program);
+  const TensorId t = program.findTensor("t")->id;
+  const TensorId S = program.findTensor("S")->id;
+  EXPECT_GE(defs.at(t), 0);
+  EXPECT_EQ(defs.at(S), -1);
+  // S is read by all six contraction statements.
+  EXPECT_EQ(uses.at(S).size(), 6u);
+  // t is read exactly once (Hadamard).
+  EXPECT_EQ(uses.at(t).size(), 1u);
+}
+
+TEST(AnalysisTest, WorkOfHadamard) {
+  const Program program = lowerSource(test::kInverseHelmholtz);
+  // Find the EntryWise op (r = D * t).
+  const Operation* hadamard = nullptr;
+  for (const auto& op : program.operations())
+    if (op.kind == OpKind::EntryWise)
+      hadamard = &op;
+  ASSERT_NE(hadamard, nullptr);
+  const OpWork work = workOf(program, *hadamard);
+  EXPECT_EQ(work.fmul, 1331);
+  EXPECT_EQ(work.loads, 2 * 1331);
+  EXPECT_EQ(work.stores, 1331);
+}
+
+} // namespace
+} // namespace cfd::ir

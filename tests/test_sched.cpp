@@ -1,0 +1,143 @@
+#include "dsl/Parser.h"
+#include "ir/Lowering.h"
+#include "sched/Reschedule.h"
+#include "sched/Schedule.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+namespace cfd::sched {
+namespace {
+
+// The Schedule keeps a pointer to its Program, so both live behind one
+// stable heap allocation.
+struct Compiled {
+  std::unique_ptr<ir::Program> program;
+  Schedule schedule;
+};
+
+Compiled compile(const char* source, LayoutOptions layoutOptions = {}) {
+  Compiled result;
+  result.program =
+      std::make_unique<ir::Program>(ir::lower(dsl::parseAndCheck(source)));
+  result.schedule = buildReferenceSchedule(*result.program, layoutOptions);
+  return result;
+}
+
+TEST(ReferenceScheduleTest, StatementPerOperation) {
+  const Compiled c = compile(test::kInverseHelmholtz);
+  EXPECT_EQ(c.schedule.statements.size(), c.program->operations().size());
+  // Reference order: reductions innermost.
+  for (const auto& stmt : c.schedule.statements) {
+    for (std::size_t p = 1; p < stmt.loops.size(); ++p)
+      if (stmt.loops[p - 1].isReduction)
+        EXPECT_TRUE(stmt.loops[p].isReduction)
+            << "reduction loop before an output loop in " << stmt.name;
+    if (stmt.kind == ir::OpKind::Contract && stmt.needsInit)
+      EXPECT_TRUE(stmt.innermostIsReduction());
+  }
+}
+
+TEST(ReferenceScheduleTest, TripCounts) {
+  const Compiled c = compile(test::kInverseHelmholtz);
+  std::int64_t macTrips = 0;
+  for (const auto& stmt : c.schedule.statements)
+    if (stmt.kind == ir::OpKind::Contract)
+      macTrips += stmt.tripCount();
+  EXPECT_EQ(macTrips, 6LL * 11 * 11 * 11 * 11);
+}
+
+TEST(LayoutTest, DefaultRowMajorStrides) {
+  const Compiled c = compile(test::kInverseHelmholtz);
+  // The Hadamard statement reads D and t at identity maps; its innermost
+  // loop has stride 1 under row-major layouts.
+  for (const auto& stmt : c.schedule.statements) {
+    if (stmt.kind != ir::OpKind::EntryWise)
+      continue;
+    const int innermost = static_cast<int>(stmt.loops.size()) - 1;
+    for (const auto& read : stmt.reads)
+      EXPECT_EQ(c.schedule.layouts.strideOf(read, innermost), 1);
+  }
+}
+
+TEST(LayoutTest, ColumnMajorChangesStrides) {
+  LayoutOptions options;
+  options.perTensor["D"] = LayoutKind::ColumnMajor;
+  const Compiled c = compile(test::kInverseHelmholtz, options);
+  for (const auto& stmt : c.schedule.statements) {
+    if (stmt.kind != ir::OpKind::EntryWise)
+      continue;
+    const int innermost = static_cast<int>(stmt.loops.size()) - 1;
+    bool sawColumnMajor = false;
+    for (const auto& read : stmt.reads)
+      if (c.program->tensor(read.tensor).name == "D") {
+        EXPECT_EQ(c.schedule.layouts.strideOf(read, innermost), 121);
+        sawColumnMajor = true;
+      }
+    EXPECT_TRUE(sawColumnMajor);
+  }
+}
+
+TEST(RescheduleTest, HardwareObjectiveRemovesInnermostReductions) {
+  Compiled c = compile(test::kInverseHelmholtz);
+  RescheduleOptions options;
+  options.objective = ScheduleObjective::Hardware;
+  const RescheduleStats stats = reschedule(c.schedule, options);
+  EXPECT_GT(stats.loopNestsPermuted, 0);
+  for (const auto& stmt : c.schedule.statements)
+    if (stmt.kind == ir::OpKind::Contract && stmt.needsInit)
+      EXPECT_FALSE(stmt.innermostIsReduction()) << stmt.name;
+}
+
+TEST(RescheduleTest, SoftwareObjectiveKeepsUnitStrides) {
+  Compiled c = compile(test::kInverseHelmholtz);
+  RescheduleOptions options;
+  options.objective = ScheduleObjective::Software;
+  reschedule(c.schedule, options);
+  // The forward contractions and the Hadamard product reach unit strides
+  // (cost <= 3); the transposed-S contractions of Eq. 1c cannot do better
+  // than 12 under row-major layouts (S stride 11 + r stride 1), which is
+  // still the minimum over all loop permutations.
+  for (const auto& stmt : c.schedule.statements) {
+    const std::int64_t cost = innermostStrideCost(c.schedule, stmt);
+    EXPECT_LE(cost, 12) << stmt.name << " innermost stride cost " << cost;
+  }
+}
+
+TEST(RescheduleTest, ReorderingRespectsDependences) {
+  Compiled c = compile(test::kInverseHelmholtz);
+  reschedule(c.schedule, {});
+  // Producer statements must still precede consumers.
+  std::map<ir::TensorId, int> position;
+  for (std::size_t i = 0; i < c.schedule.statements.size(); ++i)
+    position[c.schedule.statements[i].write.tensor] = static_cast<int>(i);
+  for (std::size_t i = 0; i < c.schedule.statements.size(); ++i)
+    for (const auto& read : c.schedule.statements[i].reads)
+      if (const auto it = position.find(read.tensor); it != position.end())
+        EXPECT_LT(it->second, static_cast<int>(i));
+}
+
+TEST(RescheduleTest, AccessesStayConsistentAfterPermutation) {
+  Compiled c = compile(test::kMatMul2D);
+  reschedule(c.schedule, {});
+  const auto& stmt = c.schedule.statements[0];
+  // Whatever the loop order, the composed write/read ranks must match.
+  EXPECT_EQ(stmt.write.map.numResults(), 2);
+  ASSERT_EQ(stmt.reads.size(), 2u);
+  EXPECT_EQ(stmt.reads[0].map.numResults(), 2);
+  EXPECT_EQ(stmt.reads[1].map.numResults(), 2);
+  EXPECT_EQ(stmt.loops.size(), 3u);
+}
+
+TEST(ScheduleTest, PrintingContainsStatements) {
+  const Compiled c = compile(test::kInverseHelmholtz);
+  const std::string printed = c.schedule.str();
+  EXPECT_NE(printed.find("S0"), std::string::npos);
+  EXPECT_NE(printed.find("S6"), std::string::npos);
+}
+
+} // namespace
+} // namespace cfd::sched

@@ -1,0 +1,177 @@
+#include "core/Flow.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+namespace cfd::sim {
+namespace {
+
+Flow compileHelmholtz(int m = 0, int k = 0) {
+  FlowOptions options;
+  options.system.memories = m;
+  options.system.kernels = k;
+  return Flow::compile(test::kInverseHelmholtz, options);
+}
+
+TEST(PlatformSimTest, RoundAccounting) {
+  const Flow flow = compileHelmholtz(4, 4);
+  const SimResult result = flow.simulate({.numElements = 100});
+  EXPECT_EQ(result.mainLoopIterations, 25); // ceil(100 / 4)
+  EXPECT_EQ(result.rounds, 25);             // batch = 1
+  EXPECT_GT(result.kernelTimeUs, 0);
+  EXPECT_GT(result.transferTimeUs, 0);
+}
+
+TEST(PlatformSimTest, BatchedRounds) {
+  const Flow flow = compileHelmholtz(8, 2);
+  const SimResult result = flow.simulate({.numElements = 80});
+  EXPECT_EQ(result.mainLoopIterations, 10);
+  EXPECT_EQ(result.rounds, 40); // 4 rounds per iteration
+}
+
+TEST(PlatformSimTest, PartialTailIsHandled) {
+  const Flow flow = compileHelmholtz(8, 8);
+  const SimResult result = flow.simulate({.numElements = 20});
+  // 8 + 8 + 4: three iterations, the last with a partial PLM fill.
+  EXPECT_EQ(result.mainLoopIterations, 3);
+  EXPECT_EQ(result.rounds, 3);
+  // Transfers only move real elements.
+  const Flow one = compileHelmholtz(1, 1);
+  const SimResult ref = one.simulate({.numElements = 20});
+  EXPECT_NEAR(result.transferTimeUs, ref.transferTimeUs, 1e-9);
+}
+
+TEST(PlatformSimTest, TransferTimeMatchesBandwidth) {
+  const Flow flow = compileHelmholtz(1, 1);
+  const SimResult result =
+      flow.simulate({.numElements = 1000, .axiBandwidthGBs = 4.0});
+  const double bytes =
+      1000.0 * static_cast<double>(flow.systemDesign().inputBytesPerElement +
+                                   flow.systemDesign().outputBytesPerElement);
+  EXPECT_NEAR(result.transferTimeUs, bytes / (4.0 * 1e3), 1e-6);
+}
+
+TEST(PlatformSimTest, KernelTimeScalesInverselyWithK) {
+  const SimResult r1 = compileHelmholtz(1, 1).simulate({.numElements = 6400});
+  const SimResult r8 = compileHelmholtz(8, 8).simulate({.numElements = 6400});
+  const double ratio = r1.kernelTimeUs / r8.kernelTimeUs;
+  EXPECT_GT(ratio, 7.5);
+  EXPECT_LE(ratio, 8.0); // sub-linear: done-aggregation overhead
+}
+
+TEST(PlatformSimTest, HigherBandwidthOnlyShrinksTransfers) {
+  const Flow flow = compileHelmholtz(16, 16);
+  const SimResult slow =
+      flow.simulate({.numElements = 1600, .axiBandwidthGBs = 2.0});
+  const SimResult fast =
+      flow.simulate({.numElements = 1600, .axiBandwidthGBs = 8.0});
+  EXPECT_NEAR(slow.kernelTimeUs, fast.kernelTimeUs, 1e-9);
+  EXPECT_NEAR(slow.transferTimeUs / fast.transferTimeUs, 4.0, 1e-6);
+}
+
+TEST(CpuModelTest, TimeTracksOpCounts) {
+  eval::OpCounts counts;
+  counts.fmul = 1000;
+  counts.fadd = 1000;
+  counts.loads = 2000;
+  counts.stores = 100;
+  counts.loopIterations = 1000;
+  const double us = cpuTimeUsPerElement(counts);
+  // (1000 + 1000 + 2000 + 70 + 500) cycles at 1200 MHz.
+  EXPECT_NEAR(us, 4570.0 / 1200.0, 1e-9);
+  EXPECT_NEAR(cpuTotalTimeUs(counts, 10), 10 * us, 1e-9);
+}
+
+TEST(CpuModelTest, ReferenceKernelCyclesPerMac) {
+  // The A53 model should land near the calibrated ~4.7 cycles/MAC for
+  // the reference loop nest (DESIGN.md §4).
+  const Flow flow = compileHelmholtz();
+  const eval::OpCounts counts =
+      flow.softwareCounts(sched::ScheduleObjective::Software);
+  const double cycles = cpuTimeUsPerElement(counts) * 1200.0;
+  const double perMac = cycles / static_cast<double>(counts.fmul);
+  EXPECT_GT(perMac, 3.5);
+  EXPECT_LT(perMac, 6.0);
+}
+
+TEST(CpuModelTest, HlsStyleCodeIsSlowerOnCpu) {
+  // Fig. 10's "SW HLS code" bar: the HLS-oriented loop order pays
+  // read-modify-write accumulation on the CPU.
+  const Flow flow = compileHelmholtz();
+  const double refUs = cpuTimeUsPerElement(
+      flow.softwareCounts(sched::ScheduleObjective::Software));
+  const double hlsUs = cpuTimeUsPerElement(
+      flow.softwareCounts(sched::ScheduleObjective::Hardware));
+  EXPECT_GT(hlsUs, refUs);
+  EXPECT_LT(hlsUs, 1.6 * refUs);
+}
+
+TEST(SimResultTest, Printing) {
+  const SimResult result =
+      compileHelmholtz(2, 2).simulate({.numElements = 10});
+  const std::string text = result.str();
+  EXPECT_NE(text.find("elements"), std::string::npos);
+  EXPECT_NE(text.find("total"), std::string::npos);
+}
+
+TEST(PlatformSimTest, TimeDecompositionIsConserved) {
+  // total = kernel + transfer - overlapped, and overlapped is zero for
+  // blocking transfers.
+  for (int m : {1, 4, 16}) {
+    const SimResult r =
+        compileHelmholtz(m, m).simulate({.numElements = 2000});
+    EXPECT_EQ(r.overlappedTimeUs, 0.0);
+    EXPECT_NEAR(r.totalTimeUs(), r.kernelTimeUs + r.transferTimeUs, 1e-9);
+  }
+}
+
+TEST(PlatformSimTest, TotalSpeedupNeverExceedsAcceleratorSpeedup) {
+  const SimResult base =
+      compileHelmholtz(1, 1).simulate({.numElements = 50000});
+  for (int m : {2, 4, 8, 16}) {
+    const SimResult r =
+        compileHelmholtz(m, m).simulate({.numElements = 50000});
+    const double accel = base.kernelTimeUs / r.kernelTimeUs;
+    const double total = base.totalTimeUs() / r.totalTimeUs();
+    EXPECT_LE(total, accel) << m;
+    EXPECT_GE(total, 1.0) << m;
+  }
+}
+
+TEST(PlatformSimTest, ElementsScaleLinearly) {
+  const Flow flow = compileHelmholtz(8, 8);
+  const SimResult small = flow.simulate({.numElements = 800});
+  const SimResult large = flow.simulate({.numElements = 8000});
+  EXPECT_NEAR(large.totalTimeUs() / small.totalTimeUs(), 10.0, 1e-6);
+}
+
+// Regression guard for the headline result: speedups vs m=k=1 within
+// 5% of the paper's Fig. 9 series.
+struct Fig9Point {
+  int m;
+  double accel;
+  double total;
+};
+
+class Fig9Regression : public ::testing::TestWithParam<Fig9Point> {};
+
+TEST_P(Fig9Regression, SpeedupsMatchPaper) {
+  const Fig9Point point = GetParam();
+  const SimResult base =
+      compileHelmholtz(1, 1).simulate({.numElements = 50000});
+  const SimResult result =
+      compileHelmholtz(point.m, point.m).simulate({.numElements = 50000});
+  const double accel = base.kernelTimeUs / result.kernelTimeUs;
+  const double total = base.totalTimeUs() / result.totalTimeUs();
+  EXPECT_NEAR(accel, point.accel, point.accel * 0.05);
+  EXPECT_NEAR(total, point.total, point.total * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, Fig9Regression,
+                         ::testing::Values(Fig9Point{2, 2.00, 1.96},
+                                           Fig9Point{4, 3.97, 3.78},
+                                           Fig9Point{8, 7.91, 7.09},
+                                           Fig9Point{16, 15.76, 12.58}));
+
+} // namespace
+} // namespace cfd::sim

@@ -1,0 +1,67 @@
+#include "support/Diagnostics.h"
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+namespace cfd {
+namespace {
+
+TEST(ErrorTest, InternalErrorCarriesLocation) {
+  try {
+    CFD_ASSERT(false, "boom");
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_GT(e.line(), 0);
+  }
+}
+
+TEST(ErrorTest, PassingAssertDoesNotThrow) {
+  EXPECT_NO_THROW(CFD_ASSERT(1 + 1 == 2, "math works"));
+}
+
+TEST(FormatTest, JoinRange) {
+  const std::vector<int> values{1, 2, 3};
+  EXPECT_EQ(join(values, ", "), "1, 2, 3");
+  EXPECT_EQ(join(std::vector<int>{}, ", "), "");
+}
+
+TEST(FormatTest, FormatShape) {
+  EXPECT_EQ(formatShape({11, 11, 11}), "[11 11 11]");
+  EXPECT_EQ(formatShape({}), "[]");
+}
+
+TEST(FormatTest, Thousands) {
+  EXPECT_EQ(formatThousands(0), "0");
+  EXPECT_EQ(formatThousands(999), "999");
+  EXPECT_EQ(formatThousands(42679), "42,679");
+  EXPECT_EQ(formatThousands(-1234567), "-1,234,567");
+}
+
+TEST(FormatTest, FixedAndPadding) {
+  EXPECT_EQ(formatFixed(12.584, 2), "12.58");
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+}
+
+TEST(DiagnosticsTest, CollectsAndRenders) {
+  Diagnostics diags;
+  diags.error({1, 2}, "first");
+  diags.warning({3, 4}, "second");
+  EXPECT_TRUE(diags.hasErrors());
+  EXPECT_EQ(diags.errorCount(), 1u);
+  EXPECT_NE(diags.str().find("1:2: error: first"), std::string::npos);
+  EXPECT_NE(diags.str().find("3:4: warning: second"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, ThrowIfErrors) {
+  Diagnostics diags;
+  EXPECT_NO_THROW(diags.throwIfErrors("phase"));
+  diags.error({1, 1}, "bad");
+  EXPECT_THROW(diags.throwIfErrors("phase"), FlowError);
+}
+
+} // namespace
+} // namespace cfd

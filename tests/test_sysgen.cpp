@@ -1,0 +1,119 @@
+#include "core/Flow.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+namespace cfd::sysgen {
+namespace {
+
+Flow compileHelmholtz(bool sharing = true, int m = 0, int k = 0) {
+  FlowOptions options;
+  options.memory.enableSharing = sharing;
+  options.system.memories = m;
+  options.system.kernels = k;
+  return Flow::compile(test::kInverseHelmholtz, options);
+}
+
+TEST(SystemGeneratorTest, MaxReplicasMatchPaper) {
+  // Paper §VI: up to m = 8 without sharing, m = 16 with sharing.
+  EXPECT_EQ(compileHelmholtz(false).systemDesign().m, 8);
+  EXPECT_EQ(compileHelmholtz(true).systemDesign().m, 16);
+}
+
+TEST(SystemGeneratorTest, ArchitectureVariants) {
+  EXPECT_EQ(compileHelmholtz(true, 1, 1).systemDesign().variant,
+            ArchitectureVariant::SingleKernel);
+  EXPECT_EQ(compileHelmholtz(true, 8, 8).systemDesign().variant,
+            ArchitectureVariant::ParallelEqual);
+  const SystemDesign batched = compileHelmholtz(true, 8, 2).systemDesign();
+  EXPECT_EQ(batched.variant, ArchitectureVariant::Batched);
+  EXPECT_EQ(batched.batch, 4);
+}
+
+TEST(SystemGeneratorTest, InvalidConfigurationsRejected) {
+  // k > m violates the paper's m >= k assumption.
+  EXPECT_THROW(compileHelmholtz(true, 2, 4), FlowError);
+  // m must be a power-of-two multiple of k.
+  EXPECT_THROW(compileHelmholtz(true, 6, 2), FlowError);
+  EXPECT_THROW(compileHelmholtz(true, 12, 4), FlowError);
+  // Over-provisioning violates Eq. 3 (BRAM bound).
+  EXPECT_THROW(compileHelmholtz(false, 16, 16), FlowError);
+  EXPECT_THROW(compileHelmholtz(true, 32, 32), FlowError);
+}
+
+TEST(SystemGeneratorTest, Equation3Holds) {
+  for (int m : {1, 2, 4, 8, 16}) {
+    const SystemDesign design = compileHelmholtz(true, m, m).systemDesign();
+    const hls::DeviceResources device = hls::kZu7ev;
+    EXPECT_LE(design.total.lut, device.lut);
+    EXPECT_LE(design.total.ff, device.ff);
+    EXPECT_LE(design.total.dsp, device.dsp);
+    EXPECT_LE(design.total.bram36, device.bram36);
+    // DSPs scale exactly with k (one datapath per kernel).
+    EXPECT_EQ(design.total.dsp, 15 * m);
+  }
+}
+
+TEST(SystemGeneratorTest, ResourceScalingIsAffineInM) {
+  const auto total = [](int m) {
+    return compileHelmholtz(true, m, m).systemDesign().total;
+  };
+  const hls::Resources r1 = total(1);
+  const hls::Resources r2 = total(2);
+  const hls::Resources r4 = total(4);
+  // Per-replica increments are constant.
+  EXPECT_EQ(r2.lut - r1.lut, (r4.lut - r2.lut) / 2);
+  EXPECT_EQ(r2.ff - r1.ff, (r4.ff - r2.ff) / 2);
+}
+
+TEST(SystemGeneratorTest, AddressMapIsPow2AlignedAndDisjoint) {
+  const SystemDesign design = compileHelmholtz().systemDesign();
+  ASSERT_EQ(design.addressMap.size(), 4u); // S, D, u, v
+  std::int64_t previousEnd = 0;
+  for (const auto& entry : design.addressMap) {
+    EXPECT_EQ(entry.windowBytes & (entry.windowBytes - 1), 0)
+        << entry.array;
+    EXPECT_GE(entry.windowBytes, entry.byteSize);
+    EXPECT_GE(entry.byteOffset, previousEnd);
+    previousEnd = entry.byteOffset + entry.windowBytes;
+  }
+  EXPECT_GE(design.plmWindowBytes, previousEnd);
+  EXPECT_EQ(design.plmWindowBytes & (design.plmWindowBytes - 1), 0);
+}
+
+TEST(SystemGeneratorTest, TransferBytesPerElement) {
+  const SystemDesign design = compileHelmholtz().systemDesign();
+  // Inputs: S (121) + D (1331) + u (1331) doubles; output: v.
+  EXPECT_EQ(design.inputBytesPerElement, (121 + 1331 + 1331) * 8);
+  EXPECT_EQ(design.outputBytesPerElement, 1331 * 8);
+}
+
+TEST(SystemGeneratorTest, HostCodeContainsControlProtocol) {
+  const Flow flow = compileHelmholtz(true, 16, 16);
+  const std::string host = flow.hostCode();
+  EXPECT_NE(host.find("#define CFD_M 16"), std::string::npos);
+  EXPECT_NE(host.find("#define CFD_K 16"), std::string::npos);
+  EXPECT_NE(host.find("CTRL_START"), std::string::npos);
+  EXPECT_NE(host.find("wait_for_interrupt"), std::string::npos);
+  EXPECT_NE(host.find("memcpy"), std::string::npos);
+  // Every interface array appears in the transfers.
+  for (const char* name : {"CFD_OFF_S", "CFD_OFF_D", "CFD_OFF_u",
+                           "CFD_OFF_v"})
+    EXPECT_NE(host.find(name), std::string::npos) << name;
+}
+
+TEST(SystemGeneratorTest, BatchedHostCodeRunsMultipleRounds) {
+  const Flow flow = compileHelmholtz(true, 8, 2);
+  const std::string host = flow.hostCode();
+  EXPECT_NE(host.find("#define CFD_BATCH 4"), std::string::npos);
+}
+
+TEST(SystemGeneratorTest, ReportPrinting) {
+  const SystemDesign design = compileHelmholtz(true, 16, 16).systemDesign();
+  const std::string report = design.str();
+  EXPECT_NE(report.find("m=16 k=16"), std::string::npos);
+  EXPECT_NE(report.find("Fig. 7b"), std::string::npos);
+}
+
+} // namespace
+} // namespace cfd::sysgen

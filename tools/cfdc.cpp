@@ -1,0 +1,186 @@
+// cfdc — command-line driver for the CFDlang-to-FPGA flow.
+//
+// Usage:
+//   cfdc [options] kernel.cfd
+//
+// Options:
+//   --emit=c|mnemosyne|host|dot|report   artifact to print (default report)
+//   -o <file>                            write the artifact to a file
+//   --no-sharing                         disable PLM address-space sharing
+//   --coupled                            keep temporaries inside the HLS
+//                                        accelerator (no decoupling)
+//   --m=<n> --k=<n>                      force the replication factors
+//   --unroll=<n>                         innermost unroll / PLM banks
+//   --objective=hw|sw                    rescheduling objective
+//   --layout=rowmajor|colmajor           default tensor layout
+//   --simulate=<Ne>                      simulate Ne elements and report
+//   --validate                           check against Eq. semantics
+#include "core/Flow.h"
+#include "support/Error.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct CliOptions {
+  std::string inputPath;
+  std::string emit = "report";
+  std::string outputPath;
+  cfd::FlowOptions flow;
+  std::int64_t simulateElements = 0;
+  bool validate = false;
+};
+
+[[noreturn]] void usage(const std::string& error = {}) {
+  if (!error.empty())
+    std::cerr << "cfdc: " << error << "\n";
+  std::cerr <<
+      R"(usage: cfdc [options] kernel.cfd
+  --emit=c|mnemosyne|host|dot|report   artifact to print (default: report)
+  -o <file>                            write the artifact to a file
+  --no-sharing --coupled --m=N --k=N --unroll=N
+  --objective=hw|sw --layout=rowmajor|colmajor
+  --simulate=Ne --validate
+)";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+bool consumeValue(const std::string& arg, const std::string& prefix,
+                  std::string& value) {
+  if (arg.rfind(prefix, 0) != 0)
+    return false;
+  value = arg.substr(prefix.size());
+  return true;
+}
+
+CliOptions parseArgs(const std::vector<std::string>& args) {
+  CliOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      usage();
+    } else if (consumeValue(arg, "--emit=", value)) {
+      options.emit = value;
+    } else if (arg == "-o") {
+      if (++i >= args.size())
+        usage("-o requires a file name");
+      options.outputPath = args[i];
+    } else if (arg == "--no-sharing") {
+      options.flow.memory.enableSharing = false;
+    } else if (arg == "--coupled") {
+      options.flow.memory.decoupled = false;
+    } else if (consumeValue(arg, "--m=", value)) {
+      options.flow.system.memories = std::stoi(value);
+    } else if (consumeValue(arg, "--k=", value)) {
+      options.flow.system.kernels = std::stoi(value);
+    } else if (consumeValue(arg, "--unroll=", value)) {
+      options.flow.hls.unrollFactor = std::stoi(value);
+    } else if (consumeValue(arg, "--objective=", value)) {
+      if (value == "hw")
+        options.flow.reschedule.objective =
+            cfd::sched::ScheduleObjective::Hardware;
+      else if (value == "sw")
+        options.flow.reschedule.objective =
+            cfd::sched::ScheduleObjective::Software;
+      else
+        usage("unknown objective '" + value + "'");
+    } else if (consumeValue(arg, "--layout=", value)) {
+      if (value == "rowmajor")
+        options.flow.layouts.defaultLayout =
+            cfd::sched::LayoutKind::RowMajor;
+      else if (value == "colmajor")
+        options.flow.layouts.defaultLayout =
+            cfd::sched::LayoutKind::ColumnMajor;
+      else
+        usage("unknown layout '" + value + "'");
+    } else if (consumeValue(arg, "--simulate=", value)) {
+      options.simulateElements = std::stoll(value);
+    } else if (arg == "--validate") {
+      options.validate = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage("unknown option '" + arg + "'");
+    } else if (options.inputPath.empty()) {
+      options.inputPath = arg;
+    } else {
+      usage("multiple input files");
+    }
+  }
+  if (options.inputPath.empty())
+    usage("no input file");
+  return options;
+}
+
+std::string report(const cfd::Flow& flow) {
+  std::ostringstream os;
+  os << "== tensor IR ==\n" << flow.program().str();
+  os << "\n== schedule ==\n" << flow.schedule().str();
+  os << "\n== HLS ==\n" << flow.kernelReport().str();
+  os << "\n== memory plan ==\n" << flow.memoryPlan().str(flow.program());
+  os << "\n== system ==\n" << flow.systemDesign().str();
+  return os.str();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options =
+      parseArgs(std::vector<std::string>(argv + 1, argv + argc));
+
+  std::ifstream input(options.inputPath);
+  if (!input) {
+    std::cerr << "cfdc: cannot open '" << options.inputPath << "'\n";
+    return 1;
+  }
+  std::stringstream source;
+  source << input.rdbuf();
+
+  try {
+    const cfd::Flow flow = cfd::Flow::compile(source.str(), options.flow);
+
+    std::string artifact;
+    if (options.emit == "c")
+      artifact = flow.cCode();
+    else if (options.emit == "mnemosyne")
+      artifact = flow.mnemosyneConfig();
+    else if (options.emit == "host")
+      artifact = flow.hostCode();
+    else if (options.emit == "dot")
+      artifact = flow.compatibilityDot();
+    else if (options.emit == "report")
+      artifact = report(flow);
+    else
+      usage("unknown artifact '" + options.emit + "'");
+
+    if (options.outputPath.empty()) {
+      std::cout << artifact;
+    } else {
+      std::ofstream out(options.outputPath);
+      if (!out) {
+        std::cerr << "cfdc: cannot write '" << options.outputPath << "'\n";
+        return 1;
+      }
+      out << artifact;
+    }
+
+    if (options.validate) {
+      const double error = flow.validate();
+      std::cout << "validation max |error| = " << error << "\n";
+      if (error > 1e-8)
+        return 1;
+    }
+    if (options.simulateElements > 0) {
+      const auto result =
+          flow.simulate({.numElements = options.simulateElements});
+      std::cout << result.str();
+    }
+  } catch (const cfd::FlowError& e) {
+    std::cerr << "cfdc: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
