@@ -31,17 +31,34 @@ int main() {
   std::cout << "  board            max m=k   binding resource   total ms   "
                "speedup vs ZCU106 m=16\n";
 
-  double reference = 0.0;
+  // One Explorer sweep over the device envelope: the board variants
+  // compile in parallel through the shared FlowCache and each row
+  // carries its platform simulation.
+  std::vector<FlowOptions> variants;
   for (const Board& board : boards) {
     FlowOptions options;
     options.system.device = board.device;
-    const Flow flow = Flow::compile(kInverseHelmholtz, options);
-    const auto result = flow.simulate({.numElements = kNumElements});
+    variants.push_back(options);
+  }
+  ExplorerOptions explorerOptions;
+  explorerOptions.simulateElements = kNumElements;
+  const ExplorationResult sweep =
+      explore(kInverseHelmholtz, variants, explorerOptions);
+
+  double reference = 0.0;
+  for (std::size_t i = 0; i < sweep.rows.size(); ++i) {
+    const ExplorationRow& row = sweep.rows[i];
+    const Board& board = boards[i];
+    if (!row.ok()) {
+      std::cout << "  " << padRight(board.name, 16) << "  infeasible: "
+                << row.error << "\n";
+      continue;
+    }
     if (reference == 0.0)
-      reference = result.totalTimeUs();
+      reference = row.sim.totalTimeUs();
     // Which resource stops the next doubling?
-    const auto& total = flow.systemDesign().total;
-    const int m = flow.systemDesign().m;
+    const auto& total = row.flow->systemDesign().total;
+    const int m = row.flow->systemDesign().m;
     const char* binding = "BRAM";
     if (2 * total.lut > board.device.lut)
       binding = "LUT";
@@ -52,11 +69,15 @@ int main() {
     std::cout << "  " << padRight(board.name, 16)
               << padLeft(std::to_string(m), 8)
               << padLeft(binding, 19)
-              << padLeft(formatFixed(result.totalTimeUs() / 1e3, 1), 11)
-              << padLeft(formatFixed(reference / result.totalTimeUs(), 2),
+              << padLeft(formatFixed(row.sim.totalTimeUs() / 1e3, 1), 11)
+              << padLeft(formatFixed(reference / row.sim.totalTimeUs(), 2),
                          12)
               << "\n";
   }
+  std::cout << "  (swept " << sweep.rows.size() << " boards on "
+            << sweep.workers
+            << (sweep.workers == 1 ? " worker in " : " workers in ")
+            << formatFixed(sweep.wallMillis, 1) << " ms)\n";
 
   // Cluster of ZCU106 boards: elements partition evenly; each board has
   // its own host link, so both compute and transfers scale.

@@ -4,12 +4,20 @@
 // degree p and the memory architecture, reporting how many parallel
 // kernels fit on the ZCU106 and the projected throughput.
 //
+// The sweep runs through core/Explorer.h: every (p, sharing) variant is
+// one ExplorationJob, compiled across worker threads through a shared
+// FlowCache. A second, cache-warm pass and a sequential eager baseline
+// quantify what the staged pipeline buys over re-running all eight
+// stages from scratch per variant.
+//
 //   $ ./design_space
-#include "core/Flow.h"
+#include "core/Explorer.h"
 #include "support/Format.h"
 
+#include <chrono>
 #include <iostream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -28,6 +36,46 @@ std::string helmholtzSource(int n) {
   return src;
 }
 
+// Sweep points keep their parameters next to the job, so result rows
+// are labeled from the same data that built them.
+struct SweepPoint {
+  int n = 0;
+  bool sharing = false;
+};
+
+std::vector<SweepPoint> buildSweepPoints() {
+  std::vector<SweepPoint> points;
+  for (int n : {5, 7, 9, 11, 13})
+    for (bool sharing : {false, true})
+      points.push_back(SweepPoint{n, sharing});
+  return points;
+}
+
+std::vector<cfd::ExplorationJob>
+buildJobs(const std::vector<SweepPoint>& points) {
+  std::vector<cfd::ExplorationJob> jobs;
+  jobs.reserve(points.size());
+  for (const SweepPoint& point : points) {
+    cfd::ExplorationJob job;
+    job.source = helmholtzSource(point.n);
+    job.options.memory.enableSharing = point.sharing;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+double sequentialEagerMillis(const std::vector<cfd::ExplorationJob>& jobs) {
+  // The pre-pipeline behavior: every variant re-runs all eight stages.
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& job : jobs) {
+    const cfd::Flow flow = cfd::Flow::compile(job.source, job.options);
+    (void)flow.simulate({.numElements = 50000});
+  }
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 } // namespace
 
 int main() {
@@ -39,27 +87,55 @@ int main() {
   std::cout << "  p+1  sharing  BRAM/PLM  max m=k  kernel us  total ms  "
                "elements/s\n";
 
-  for (int n : {5, 7, 9, 11, 13}) {
-    for (bool sharing : {false, true}) {
-      cfd::FlowOptions options;
-      options.memory.enableSharing = sharing;
-      const cfd::Flow flow = cfd::Flow::compile(helmholtzSource(n), options);
-      const auto result = flow.simulate({.numElements = 50000});
-      const double elementsPerSecond =
-          50000.0 / (result.totalTimeUs() / 1e6);
-      std::cout << padLeft(std::to_string(n), 5)
-                << padLeft(sharing ? "yes" : "no", 9)
-                << padLeft(std::to_string(flow.systemDesign()
-                                              .plmBram36PerUnit),
-                           10)
-                << padLeft(std::to_string(flow.systemDesign().m), 9)
-                << padLeft(formatFixed(flow.kernelReport().timeUs(), 1), 11)
-                << padLeft(formatFixed(result.totalTimeUs() / 1e3, 1), 10)
-                << padLeft(formatFixed(elementsPerSecond, 0), 12) << "\n";
+  const std::vector<SweepPoint> points = buildSweepPoints();
+  const std::vector<cfd::ExplorationJob> jobs = buildJobs(points);
+  cfd::FlowCache cache;
+  cfd::ExplorerOptions explorerOptions;
+  explorerOptions.simulateElements = 50000;
+  explorerOptions.cache = &cache;
+
+  const cfd::ExplorationResult cold = cfd::explore(jobs, explorerOptions);
+  for (const cfd::ExplorationRow& row : cold.rows) {
+    const int n = points[row.index].n;
+    const bool sharing = points[row.index].sharing;
+    if (!row.ok()) {
+      std::cout << padLeft(std::to_string(n), 5) << "  infeasible: "
+                << row.error << "\n";
+      continue;
     }
+    const double elementsPerSecond =
+        50000.0 / (row.sim.totalTimeUs() / 1e6);
+    std::cout << padLeft(std::to_string(n), 5)
+              << padLeft(sharing ? "yes" : "no", 9)
+              << padLeft(std::to_string(
+                             row.flow->systemDesign().plmBram36PerUnit),
+                         10)
+              << padLeft(std::to_string(row.flow->systemDesign().m), 9)
+              << padLeft(formatFixed(row.flow->kernelReport().timeUs(), 1),
+                         11)
+              << padLeft(formatFixed(row.sim.totalTimeUs() / 1e3, 1), 10)
+              << padLeft(formatFixed(elementsPerSecond, 0), 12) << "\n";
   }
   std::cout << "\nMemory sharing shrinks each PLM unit, which admits more "
                "parallel kernels\nunder the same 312-BRAM budget "
                "(paper Sec. VI).\n";
+
+  // Quantify the pipeline win: eager sequential recompiles vs the
+  // parallel cold sweep vs re-querying the sweep with a warm cache.
+  const double eagerMs = sequentialEagerMillis(jobs);
+  const cfd::ExplorationResult warm = cfd::explore(jobs, explorerOptions);
+  const auto stats = cache.stats();
+  const std::string coldLabel = "Explorer, cold cache (" +
+                                std::to_string(cold.workers) +
+                                (cold.workers == 1 ? " worker)" : " workers)");
+  std::cout << "\nSweep cost (" << jobs.size() << " variants):\n"
+            << "  " << cfd::padRight("sequential eager compiles", 34)
+            << padLeft(formatFixed(eagerMs, 1), 9) << " ms\n"
+            << "  " << cfd::padRight(coldLabel, 34)
+            << padLeft(formatFixed(cold.wallMillis, 1), 9) << " ms\n"
+            << "  " << cfd::padRight("Explorer, warm cache", 34)
+            << padLeft(formatFixed(warm.wallMillis, 1), 9) << " ms\n"
+            << "  cache: " << stats.hits << " hits / " << stats.misses
+            << " misses / " << stats.entries << " entries\n";
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "api/KernelHandle.h"
 
+#include "core/FlowCache.h"
 #include "support/Error.h"
 
 namespace cfd::api {
@@ -41,7 +42,10 @@ ArgumentPack::inputBuffer(const std::string& name) const {
 KernelHandle KernelHandle::create(const std::string& source, Engine engine,
                                   FlowOptions options) {
   KernelHandle handle;
-  handle.flow_ = std::make_shared<Flow>(Flow::compile(source, options));
+  // Handles for the same kernel/configuration share one compiled Flow:
+  // an application creating many handles (one per OpenMP thread, say)
+  // pays for one pipeline run.
+  handle.flow_ = FlowCache::global().compile(source, options);
   handle.engine_ = engine;
   if (engine == Engine::SimulatedFpga)
     handle.system_ = std::make_unique<rtl::SystemModel>(*handle.flow_);

@@ -75,7 +75,7 @@ private:
   void invokeInterpreter(const ArgumentPack& arguments);
   void invokeSimulatedFpga(const ArgumentPack& arguments);
 
-  std::shared_ptr<Flow> flow_;
+  std::shared_ptr<const Flow> flow_;
   Engine engine_ = Engine::Interpreter;
   std::unique_ptr<rtl::SystemModel> system_;
   std::int64_t lastCycles_ = 0;

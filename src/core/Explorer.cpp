@@ -1,0 +1,103 @@
+#include "core/Explorer.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace cfd {
+
+std::size_t ExplorationResult::feasibleCount() const {
+  std::size_t count = 0;
+  for (const ExplorationRow& row : rows)
+    if (row.ok())
+      ++count;
+  return count;
+}
+
+namespace {
+
+ExplorationRow runJob(std::size_t index, const ExplorationJob& job,
+                      const ExplorerOptions& options, FlowCache& cache) {
+  ExplorationRow row;
+  row.index = index;
+  row.options = job.options;
+  normalizeOptions(row.options);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    row.flow = cache.compile(job.source, job.options);
+    row.compileMillis = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    if (options.simulateElements > 0) {
+      sim::SimOptions simOptions;
+      simOptions.numElements = options.simulateElements;
+      simOptions.strategy = options.transferStrategy;
+      row.sim = row.flow->simulate(simOptions);
+      row.simulated = true;
+    }
+  } catch (const std::exception& e) {
+    // FlowError (infeasible m/k, bad source, a sim assertion, ...) —
+    // record, don't abort the sweep; an exception must never escape a
+    // worker thread.
+    row.error = e.what();
+    row.flow = nullptr;
+  }
+  return row;
+}
+
+} // namespace
+
+ExplorationResult explore(const std::vector<ExplorationJob>& jobs,
+                          const ExplorerOptions& options) {
+  ExplorationResult result;
+  result.rows.resize(jobs.size());
+  FlowCache& cache = options.cache ? *options.cache : FlowCache::global();
+
+  int workers = options.workers;
+  if (workers <= 0)
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+  if (workers <= 0)
+    workers = 1;
+  workers = std::min<int>(workers, static_cast<int>(jobs.size()));
+  workers = std::max(workers, 1);
+  result.workers = workers;
+
+  const auto start = std::chrono::steady_clock::now();
+  if (!jobs.empty()) {
+    // Work-stealing over an atomic cursor: rows land at their job index,
+    // so the result order never depends on scheduling.
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+      for (std::size_t i = next.fetch_add(1); i < jobs.size();
+           i = next.fetch_add(1))
+        result.rows[i] = runJob(i, jobs[i], options, cache);
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers) - 1);
+    for (int t = 1; t < workers; ++t)
+      threads.emplace_back(worker);
+    worker();
+    for (std::thread& thread : threads)
+      thread.join();
+  }
+  result.wallMillis = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  result.cacheStats = cache.stats();
+  return result;
+}
+
+ExplorationResult explore(const std::string& source,
+                          const std::vector<FlowOptions>& variants,
+                          const ExplorerOptions& options) {
+  std::vector<ExplorationJob> jobs;
+  jobs.reserve(variants.size());
+  for (const FlowOptions& variant : variants)
+    jobs.push_back(ExplorationJob{source, variant});
+  return explore(jobs, options);
+}
+
+} // namespace cfd

@@ -1,0 +1,72 @@
+// Parallel design-space exploration (DESIGN.md §3).
+//
+// The paper's headline claim is that the DSL flow "simplifies the
+// exploration of parameters and constraints". Explorer is the batch
+// driver for that: it fans a vector of FlowOptions variants (or whole
+// source/options jobs) across std::thread workers, compiles each variant
+// through a shared FlowCache, optionally runs the platform simulation,
+// and collects one row per variant in input order — so results are
+// deterministic and independent of the worker count.
+//
+// Infeasible variants (e.g. an m/k pair violating Eq. 3) do not abort
+// the sweep: their row carries the FlowError message instead of a Flow.
+#pragma once
+
+#include "core/FlowCache.h"
+#include "sim/PlatformSim.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cfd {
+
+/// One point of the design space: a kernel source plus a configuration.
+struct ExplorationJob {
+  std::string source;
+  FlowOptions options;
+};
+
+struct ExplorationRow {
+  std::size_t index = 0;   // position in the input job vector
+  FlowOptions options;     // normalized
+  std::shared_ptr<const Flow> flow; // null when the variant is infeasible
+  std::string error;       // FlowError message for infeasible variants
+  double compileMillis = 0; // wall time of the compile (0 on cache hit)
+  bool simulated = false;
+  sim::SimResult sim;      // valid when simulated
+
+  bool ok() const { return error.empty(); }
+};
+
+struct ExplorerOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency (at least 1,
+  /// never more than the number of jobs).
+  int workers = 0;
+  /// When > 0, run the platform simulation with this many elements for
+  /// every feasible variant.
+  std::int64_t simulateElements = 0;
+  sim::TransferStrategy transferStrategy = sim::TransferStrategy::Blocking;
+  /// Compile cache shared by the workers; null = FlowCache::global().
+  FlowCache* cache = nullptr;
+};
+
+struct ExplorationResult {
+  std::vector<ExplorationRow> rows; // same order as the input jobs
+  double wallMillis = 0;
+  int workers = 1;
+  FlowCache::Stats cacheStats; // stats of the cache used, after the sweep
+
+  std::size_t feasibleCount() const;
+};
+
+/// Explores arbitrary (source, options) jobs.
+ExplorationResult explore(const std::vector<ExplorationJob>& jobs,
+                          const ExplorerOptions& options = {});
+
+/// Explores option variants of a single kernel source.
+ExplorationResult explore(const std::string& source,
+                          const std::vector<FlowOptions>& variants,
+                          const ExplorerOptions& options = {});
+
+} // namespace cfd

@@ -1,76 +1,64 @@
 #include "core/Flow.h"
 
-#include "dsl/Parser.h"
-#include "ir/Transforms.h"
 #include "support/Error.h"
+
+#include <algorithm>
+#include <map>
 
 namespace cfd {
 
+Flow::Flow(std::shared_ptr<Pipeline> pipeline)
+    : pipeline_(std::move(pipeline)) {
+  CFD_ASSERT(pipeline_ != nullptr, "Flow requires a pipeline");
+  // A Flow value is the eager, immutable view: once constructed, the
+  // shared pipeline never mutates again, which makes copies of this
+  // facade safe to read concurrently (Explorer relies on that).
+  pipeline_->runAll();
+}
+
 Flow Flow::compile(const std::string& source, FlowOptions options) {
-  Flow flow;
-  flow.options_ = options;
-
-  // Frontend: parse + semantic analysis (throws on diagnostics).
-  flow.ast_ = dsl::parseAndCheck(source);
-
-  // Step i: lowering into pseudo-SSA with contraction splitting, then
-  // canonicalization.
-  flow.program_ = std::make_unique<ir::Program>(
-      ir::lower(flow.ast_, options.lowering));
-  ir::canonicalize(*flow.program_);
-
-  // Step ii: reference schedule with materialized layouts.
-  flow.schedule_ =
-      sched::buildReferenceSchedule(*flow.program_, options.layouts);
-
-  // Step iii: Pluto-lite rescheduling.
-  sched::reschedule(flow.schedule_, options.reschedule);
-
-  // Step iv: liveness and memory compatibility. HLS unrolling demands a
-  // matching multi-bank memory architecture (paper §V-A2).
-  flow.liveness_ = mem::analyzeLiveness(flow.schedule_);
-  flow.graph_ = mem::buildCompatibilityGraph(flow.schedule_, flow.liveness_);
-  mem::MemoryPlanOptions memoryOptions = options.memory;
-  memoryOptions.banks = std::max(memoryOptions.banks,
-                                 options.hls.unrollFactor);
-  flow.plan_ = mem::planMemory(flow.schedule_, flow.graph_, memoryOptions);
-
-  // HLS + system generation.
-  flow.kernel_ = hls::analyzeKernel(flow.schedule_, flow.plan_, options.hls);
-  flow.system_ = sysgen::generateSystem(flow.kernel_, flow.plan_,
-                                        flow.schedule_, options.system);
-  return flow;
+  return Flow(std::make_shared<Pipeline>(source, std::move(options)));
 }
 
 std::string Flow::cCode() const {
-  codegen::CEmitterOptions emitterOptions = options_.emitter;
-  emitterOptions.unrollFactor =
-      std::max(emitterOptions.unrollFactor, options_.hls.unrollFactor);
-  return codegen::emitC(schedule_, emitterOptions);
+  // Emitter options were normalized alongside the memory banks when the
+  // pipeline was built (normalizeOptions), so emission is a pure
+  // function of the schedule.
+  return codegen::emitC(pipeline_->schedule(),
+                        pipeline_->options().emitter);
 }
 
 std::string Flow::kernelPrototype() const {
-  return codegen::emitPrototype(schedule_, options_.emitter);
+  return codegen::emitPrototype(pipeline_->schedule(),
+                                pipeline_->options().emitter);
 }
 
 std::string Flow::mnemosyneConfig() const {
-  return mem::emitMnemosyneConfig(schedule_, graph_, liveness_);
+  return mem::emitMnemosyneConfig(pipeline_->schedule(),
+                                  pipeline_->compatibilityGraph(),
+                                  pipeline_->liveness());
 }
 
 std::string Flow::hostCode() const {
-  return sysgen::emitHostCode(system_, schedule_);
+  return sysgen::emitHostCode(pipeline_->systemDesign(),
+                              pipeline_->schedule());
 }
 
-std::string Flow::compatibilityDot() const { return graph_.dot(*program_); }
+std::string Flow::compatibilityDot() const {
+  return pipeline_->compatibilityGraph().dot(pipeline_->program());
+}
 
 sim::SimResult Flow::simulate(sim::SimOptions simOptions) const {
-  return sim::simulateSystem(system_, kernel_, simOptions);
+  return sim::simulateSystem(pipeline_->systemDesign(),
+                             pipeline_->kernelReport(), simOptions);
 }
 
 double Flow::validate(std::uint64_t seed) const {
+  const ir::Program& program = pipeline_->program();
+  const sched::Schedule& schedule = pipeline_->schedule();
   std::map<std::string, eval::DenseTensor> reference;
-  eval::TensorStore store(*program_, schedule_.layouts);
-  for (const auto& tensor : program_->tensors()) {
+  eval::TensorStore store(program, schedule.layouts);
+  for (const auto& tensor : program.tensors()) {
     if (tensor.kind != ir::TensorKind::Input)
       continue;
     const eval::DenseTensor value =
@@ -78,10 +66,10 @@ double Flow::validate(std::uint64_t seed) const {
     reference[tensor.name] = value;
     store.import(tensor.id, value);
   }
-  eval::evaluateReference(ast_, reference);
-  eval::execute(schedule_, store);
+  eval::evaluateReference(pipeline_->ast(), reference);
+  eval::execute(schedule, store);
   double maxError = 0.0;
-  for (const auto& tensor : program_->tensors()) {
+  for (const auto& tensor : program.tensors()) {
     if (tensor.kind != ir::TensorKind::Output)
       continue;
     maxError = std::max(maxError,
@@ -96,15 +84,17 @@ Flow::softwareCounts(sched::ScheduleObjective objective) const {
   // Re-derive a schedule under the requested objective; Hardware yields
   // the loop structure of the HLS input C code, Software the CPU
   // reference implementation.
+  const ir::Program& program = pipeline_->program();
+  const FlowOptions& options = pipeline_->options();
   sched::Schedule variant =
-      sched::buildReferenceSchedule(*program_, options_.layouts);
-  sched::RescheduleOptions rescheduleOptions = options_.reschedule;
+      sched::buildReferenceSchedule(program, options.layouts);
+  sched::RescheduleOptions rescheduleOptions = options.reschedule;
   rescheduleOptions.objective = objective;
   sched::reschedule(variant, rescheduleOptions);
 
-  eval::TensorStore store(*program_, variant.layouts);
+  eval::TensorStore store(program, variant.layouts);
   std::uint64_t seed = 1;
-  for (const auto& tensor : program_->tensors())
+  for (const auto& tensor : program.tensors())
     if (tensor.kind == ir::TensorKind::Input)
       store.import(tensor.id,
                    eval::makeTestInput(tensor.type.shape, seed++));

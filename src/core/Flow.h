@@ -8,6 +8,13 @@
 //   auto result = flow.simulate({.numElements = 50000});
 //   double err  = flow.validate();                  // vs Eq. 1 semantics
 //
+// Flow is a thin facade over the staged pass pipeline (core/Pipeline.h):
+// compile() runs every stage eagerly, so a Flow value is immutable and
+// cheap to copy (copies share the underlying pipeline) and is safe to
+// read from many threads. Use Pipeline directly for lazy, stage-at-a-time
+// execution, FlowCache for memoized compiles, and Explorer for parallel
+// design-space sweeps.
+//
 // Pipeline stages (each result stays inspectable on the Flow object):
 //   CFDlang source -> AST -> tensor IR (pseudo-SSA, contraction split)
 //   -> reference schedule -> layout materialization -> Pluto-lite
@@ -16,30 +23,14 @@
 //   platform simulation.
 #pragma once
 
-#include "codegen/CEmitter.h"
-#include "dsl/AST.h"
+#include "core/Pipeline.h"
 #include "eval/Evaluator.h"
-#include "hls/HlsModel.h"
-#include "ir/Lowering.h"
-#include "mem/Mnemosyne.h"
-#include "sched/Reschedule.h"
 #include "sim/PlatformSim.h"
-#include "sysgen/SystemGenerator.h"
 
 #include <memory>
 #include <string>
 
 namespace cfd {
-
-struct FlowOptions {
-  ir::LoweringOptions lowering;
-  sched::LayoutOptions layouts;
-  sched::RescheduleOptions reschedule; // default: Hardware objective
-  mem::MemoryPlanOptions memory;
-  hls::HlsOptions hls;
-  sysgen::SystemOptions system;
-  codegen::CEmitterOptions emitter;
-};
 
 class Flow {
 public:
@@ -47,18 +38,33 @@ public:
   /// input or infeasible constraints.
   static Flow compile(const std::string& source, FlowOptions options = {});
 
+  /// Wraps an existing pipeline, running any remaining stages eagerly.
+  explicit Flow(std::shared_ptr<Pipeline> pipeline);
+
   // ---- Stage results ----
-  const dsl::Program& ast() const { return ast_; }
-  const ir::Program& program() const { return *program_; }
-  const sched::Schedule& schedule() const { return schedule_; }
-  const mem::LivenessInfo& liveness() const { return liveness_; }
-  const mem::CompatibilityGraph& compatibilityGraph() const {
-    return graph_;
+  const dsl::Program& ast() const { return pipeline_->ast(); }
+  const ir::Program& program() const { return pipeline_->program(); }
+  const sched::Schedule& schedule() const { return pipeline_->schedule(); }
+  const mem::LivenessInfo& liveness() const {
+    return pipeline_->liveness();
   }
-  const mem::MemoryPlan& memoryPlan() const { return plan_; }
-  const hls::KernelReport& kernelReport() const { return kernel_; }
-  const sysgen::SystemDesign& systemDesign() const { return system_; }
-  const FlowOptions& options() const { return options_; }
+  const mem::CompatibilityGraph& compatibilityGraph() const {
+    return pipeline_->compatibilityGraph();
+  }
+  const mem::MemoryPlan& memoryPlan() const {
+    return pipeline_->memoryPlan();
+  }
+  const hls::KernelReport& kernelReport() const {
+    return pipeline_->kernelReport();
+  }
+  const sysgen::SystemDesign& systemDesign() const {
+    return pipeline_->systemDesign();
+  }
+  /// Normalized options (see normalizeOptions in core/Pipeline.h).
+  const FlowOptions& options() const { return pipeline_->options(); }
+
+  /// The underlying stage pipeline (fully run; exposes per-stage timing).
+  const Pipeline& pipeline() const { return *pipeline_; }
 
   // ---- Generated artifacts ----
   std::string cCode() const;
@@ -80,17 +86,7 @@ public:
   eval::OpCounts softwareCounts(sched::ScheduleObjective objective) const;
 
 private:
-  Flow() = default;
-
-  dsl::Program ast_;
-  std::unique_ptr<ir::Program> program_;
-  sched::Schedule schedule_;
-  mem::LivenessInfo liveness_;
-  mem::CompatibilityGraph graph_;
-  mem::MemoryPlan plan_;
-  hls::KernelReport kernel_;
-  sysgen::SystemDesign system_;
-  FlowOptions options_;
+  std::shared_ptr<Pipeline> pipeline_;
 };
 
 } // namespace cfd

@@ -1,0 +1,259 @@
+#include "core/FlowCache.h"
+
+#include <bit>
+
+namespace cfd {
+
+namespace {
+
+// FNV-1a, folded field by field so structurally equal options hash
+// equal regardless of padding.
+class Hasher {
+public:
+  void mix(std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ ^= (value >> (byte * 8)) & 0xff;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  void mix(int value) { mix(static_cast<std::uint64_t>(value)); }
+  void mix(bool value) { mix(static_cast<std::uint64_t>(value)); }
+  void mix(double value) { mix(std::bit_cast<std::uint64_t>(value)); }
+  void mix(const std::string& value) {
+    mix(static_cast<std::uint64_t>(value.size()));
+    for (char c : value) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  template <typename E>
+    requires std::is_enum_v<E>
+  void mix(E value) {
+    mix(static_cast<std::uint64_t>(value));
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+void mixPartition(Hasher& h, const sched::PartitionSpec& spec) {
+  h.mix(spec.kind);
+  h.mix(spec.dim);
+  h.mix(spec.factor);
+}
+
+bool equalPartition(const sched::PartitionSpec& a,
+                    const sched::PartitionSpec& b) {
+  return a.kind == b.kind && a.dim == b.dim && a.factor == b.factor;
+}
+
+} // namespace
+
+std::uint64_t hashValue(const FlowOptions& o) {
+  Hasher h;
+  h.mix(o.lowering.factorization);
+
+  h.mix(o.layouts.defaultLayout);
+  h.mix(static_cast<std::uint64_t>(o.layouts.perTensor.size()));
+  for (const auto& [name, kind] : o.layouts.perTensor) {
+    h.mix(name);
+    h.mix(kind);
+  }
+  h.mix(static_cast<std::uint64_t>(o.layouts.partitions.size()));
+  for (const auto& [name, spec] : o.layouts.partitions) {
+    h.mix(name);
+    mixPartition(h, spec);
+  }
+
+  h.mix(o.reschedule.objective);
+  h.mix(o.reschedule.permuteLoops);
+  h.mix(o.reschedule.reorderStatements);
+
+  h.mix(o.memory.enableSharing);
+  h.mix(o.memory.decoupled);
+  h.mix(o.memory.wordBits);
+  h.mix(o.memory.banks);
+  h.mix(o.memory.packInterfaceCompatible);
+
+  h.mix(o.hls.clockMHz);
+  h.mix(o.hls.requestedII);
+  h.mix(o.hls.unrollFactor);
+
+  h.mix(o.system.memories);
+  h.mix(o.system.kernels);
+  h.mix(o.system.device.lut);
+  h.mix(o.system.device.ff);
+  h.mix(o.system.device.dsp);
+  h.mix(o.system.device.bram36);
+  h.mix(o.system.reservedBram36);
+
+  h.mix(o.emitter.functionName);
+  h.mix(o.emitter.hlsPragmas);
+  h.mix(o.emitter.pipelineII);
+  h.mix(o.emitter.unrollFactor);
+  h.mix(o.emitter.restrictPointers);
+  h.mix(o.emitter.emitTestMain);
+  return h.value();
+}
+
+bool equalOptions(const FlowOptions& a, const FlowOptions& b) {
+  if (a.lowering.factorization != b.lowering.factorization)
+    return false;
+  if (a.layouts.defaultLayout != b.layouts.defaultLayout ||
+      a.layouts.perTensor != b.layouts.perTensor)
+    return false;
+  if (a.layouts.partitions.size() != b.layouts.partitions.size())
+    return false;
+  for (auto ita = a.layouts.partitions.begin(),
+            itb = b.layouts.partitions.begin();
+       ita != a.layouts.partitions.end(); ++ita, ++itb)
+    if (ita->first != itb->first || !equalPartition(ita->second, itb->second))
+      return false;
+  if (a.reschedule.objective != b.reschedule.objective ||
+      a.reschedule.permuteLoops != b.reschedule.permuteLoops ||
+      a.reschedule.reorderStatements != b.reschedule.reorderStatements)
+    return false;
+  if (a.memory.enableSharing != b.memory.enableSharing ||
+      a.memory.decoupled != b.memory.decoupled ||
+      a.memory.wordBits != b.memory.wordBits ||
+      a.memory.banks != b.memory.banks ||
+      a.memory.packInterfaceCompatible != b.memory.packInterfaceCompatible)
+    return false;
+  if (a.hls.clockMHz != b.hls.clockMHz ||
+      a.hls.requestedII != b.hls.requestedII ||
+      a.hls.unrollFactor != b.hls.unrollFactor)
+    return false;
+  if (a.system.memories != b.system.memories ||
+      a.system.kernels != b.system.kernels ||
+      a.system.device.lut != b.system.device.lut ||
+      a.system.device.ff != b.system.device.ff ||
+      a.system.device.dsp != b.system.device.dsp ||
+      a.system.device.bram36 != b.system.device.bram36 ||
+      a.system.reservedBram36 != b.system.reservedBram36)
+    return false;
+  if (a.emitter.functionName != b.emitter.functionName ||
+      a.emitter.hlsPragmas != b.emitter.hlsPragmas ||
+      a.emitter.pipelineII != b.emitter.pipelineII ||
+      a.emitter.unrollFactor != b.emitter.unrollFactor ||
+      a.emitter.restrictPointers != b.emitter.restrictPointers ||
+      a.emitter.emitTestMain != b.emitter.emitTestMain)
+    return false;
+  return true;
+}
+
+std::shared_ptr<const Flow> FlowCache::compile(const std::string& source,
+                                               FlowOptions options) {
+  // Normalize before keying so every spelling of the same effective
+  // configuration shares one entry (and matches what Pipeline compiles).
+  normalizeOptions(options);
+  Hasher keyHasher;
+  keyHasher.mix(source);
+  keyHasher.mix(hashValue(options));
+  const std::uint64_t key = keyHasher.value();
+
+  std::shared_future<std::shared_ptr<const Flow>> pending;
+  std::promise<std::shared_ptr<const Flow>> promise;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto bucket = entries_.find(key); bucket != entries_.end())
+      for (const Entry& entry : bucket->second)
+        if (entry.source == source && equalOptions(entry.options, options)) {
+          ++hits_;
+          return entry.flow;
+        }
+    if (const auto it = inFlight_.find(key); it != inFlight_.end()) {
+      ++hits_;
+      pending = it->second;
+    } else {
+      ++misses_;
+      owner = true;
+      pending = promise.get_future().share();
+      inFlight_[key] = pending;
+    }
+  }
+
+  if (!owner)
+    return pending.get(); // rethrows the owner's FlowError, if any
+
+  try {
+    auto flow =
+        std::make_shared<const Flow>(Flow::compile(source, options));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      entries_[key].push_back(Entry{source, options, flow});
+      insertionOrder_.push_back(key);
+      ++totalEntries_;
+      evictOverflowLocked();
+      inFlight_.erase(key);
+    }
+    promise.set_value(flow);
+    return flow;
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inFlight_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+FlowCache::Stats FlowCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  for (const auto& [key, bucket] : entries_)
+    stats.entries += static_cast<std::int64_t>(bucket.size());
+  return stats;
+}
+
+std::size_t FlowCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [key, bucket] : entries_)
+    total += bucket.size();
+  return total;
+}
+
+void FlowCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  insertionOrder_.clear();
+  totalEntries_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void FlowCache::setCapacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  evictOverflowLocked();
+}
+
+void FlowCache::evictOverflowLocked() {
+  // FIFO: a bucket's entries were appended in insertion order, so the
+  // front of the oldest key's bucket is the oldest entry overall.
+  while (capacity_ != 0 && totalEntries_ > capacity_ &&
+         !insertionOrder_.empty()) {
+    const std::uint64_t key = insertionOrder_.front();
+    insertionOrder_.pop_front();
+    const auto bucket = entries_.find(key);
+    if (bucket == entries_.end() || bucket->second.empty())
+      continue; // already cleared
+    bucket->second.erase(bucket->second.begin());
+    if (bucket->second.empty())
+      entries_.erase(bucket);
+    --totalEntries_;
+  }
+}
+
+FlowCache& FlowCache::global() {
+  static FlowCache cache;
+  return cache;
+}
+
+} // namespace cfd

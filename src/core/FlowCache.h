@@ -1,0 +1,84 @@
+// Memoized compilation (DESIGN.md §3).
+//
+// Every bench and sweep used to re-run all eight pipeline stages from
+// scratch for configurations it had already compiled. FlowCache keys a
+// fully-run Flow by the pair (source, normalized FlowOptions) and hands
+// out shared immutable instances, so repeated compiles of the same
+// configuration are O(hash) instead of O(pipeline).
+//
+// The cache is safe for concurrent use (Explorer workers share one):
+// concurrent requests for the *same* key are deduplicated — one thread
+// compiles while the others wait on the in-flight result — and requests
+// for different keys compile in parallel outside the lock.
+#pragma once
+
+#include "core/Flow.h"
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cfd {
+
+/// FNV-1a style structural hash over every field of `options` (after
+/// callers normalize; FlowCache normalizes for you).
+std::uint64_t hashValue(const FlowOptions& options);
+/// Field-wise equality (no tolerance: clocks/bandwidths compare exactly).
+bool equalOptions(const FlowOptions& a, const FlowOptions& b);
+
+class FlowCache {
+public:
+  struct Stats {
+    std::int64_t hits = 0;   // served from cache or an in-flight compile
+    std::int64_t misses = 0; // compiled by the requesting thread
+    std::int64_t entries = 0;
+  };
+
+  /// Returns the memoized Flow for (source, options), compiling it on
+  /// the first request. Compilation errors propagate to every waiter.
+  std::shared_ptr<const Flow> compile(const std::string& source,
+                                      FlowOptions options = {});
+
+  Stats stats() const;
+  std::size_t size() const;
+  void clear();
+
+  /// Retained-entry bound (FIFO eviction; 0 = unbounded). Evicted Flows
+  /// stay alive for holders of their shared_ptr — eviction only stops
+  /// the cache itself from pinning them, so a long-running process
+  /// iterating many configurations cannot grow without bound.
+  void setCapacity(std::size_t capacity);
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  /// Process-wide cache shared by benches, tools, and KernelHandle.
+  static FlowCache& global();
+
+private:
+  struct Entry {
+    std::string source;
+    FlowOptions options;
+    std::shared_ptr<const Flow> flow;
+  };
+
+  void evictOverflowLocked();
+
+  mutable std::mutex mutex_;
+  // Buckets keyed by the 64-bit key; entries verify full equality so a
+  // hash collision degrades to an extra compile, never a wrong result.
+  std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
+  std::deque<std::uint64_t> insertionOrder_; // oldest first, for eviction
+  std::size_t totalEntries_ = 0;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::unordered_map<std::uint64_t,
+                     std::shared_future<std::shared_ptr<const Flow>>>
+      inFlight_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+} // namespace cfd

@@ -1,0 +1,181 @@
+#include "core/Pipeline.h"
+
+#include "dsl/Parser.h"
+#include "ir/Transforms.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+namespace cfd {
+
+void normalizeOptions(FlowOptions& options) {
+  // One clamp site for the unroll/bank/pragma coupling (paper §V-A2):
+  // every PLM buffer must split into as many cyclic banks as the HLS
+  // datapath replicates, and the emitted C must request those ports.
+  options.memory.banks =
+      std::max(options.memory.banks, options.hls.unrollFactor);
+  options.emitter.unrollFactor =
+      std::max(options.emitter.unrollFactor, options.hls.unrollFactor);
+}
+
+namespace {
+
+struct StageDescriptor {
+  const char* name;
+  const char* inputs;
+  const char* outputs;
+};
+
+constexpr StageDescriptor kStages[kStageCount] = {
+    {"parse", "CFDlang source", "checked AST"},
+    {"lower", "AST, LoweringOptions", "tensor IR (pseudo-SSA)"},
+    {"schedule", "tensor IR, LayoutOptions", "reference schedule + layouts"},
+    {"reschedule", "schedule, RescheduleOptions", "Pluto-lite schedule"},
+    {"liveness", "schedule", "live intervals"},
+    {"memory-plan", "liveness, MemoryPlanOptions",
+     "compatibility graph + PLM plan"},
+    {"hls", "schedule, memory plan, HlsOptions", "kernel report"},
+    {"sysgen", "kernel report, memory plan, SystemOptions",
+     "system design"},
+};
+
+int indexOf(Stage stage) { return static_cast<int>(stage); }
+
+} // namespace
+
+const char* stageName(Stage stage) { return kStages[indexOf(stage)].name; }
+const char* stageInputs(Stage stage) {
+  return kStages[indexOf(stage)].inputs;
+}
+const char* stageOutputs(Stage stage) {
+  return kStages[indexOf(stage)].outputs;
+}
+
+Pipeline::Pipeline(std::string source, FlowOptions options)
+    : source_(std::move(source)), options_(std::move(options)) {
+  normalizeOptions(options_);
+}
+
+bool Pipeline::hasRun(Stage stage) const { return ran_[indexOf(stage)]; }
+
+double Pipeline::stageMillis(Stage stage) const {
+  return millis_[indexOf(stage)];
+}
+
+double Pipeline::totalMillis() const {
+  double total = 0.0;
+  for (double ms : millis_)
+    total += ms;
+  return total;
+}
+
+std::string Pipeline::timingReport() const {
+  std::ostringstream os;
+  for (int i = 0; i < kStageCount; ++i) {
+    if (!ran_[i])
+      continue;
+    os << "  " << kStages[i].name;
+    for (std::size_t pad = std::string(kStages[i].name).size(); pad < 12;
+         ++pad)
+      os << ' ';
+    os << millis_[i] << " ms  -> " << kStages[i].outputs << "\n";
+  }
+  return os.str();
+}
+
+void Pipeline::require(Stage stage) {
+  // The dependence structure of this flow is a linear chain, so running
+  // "everything up to `stage`" is exactly the declared-input closure.
+  for (int i = 0; i <= indexOf(stage); ++i)
+    if (!ran_[i])
+      runStage(static_cast<Stage>(i));
+}
+
+void Pipeline::runStage(Stage stage) {
+  const auto start = std::chrono::steady_clock::now();
+  switch (stage) {
+  case Stage::Parse:
+    ast_ = dsl::parseAndCheck(source_);
+    break;
+  case Stage::Lower:
+    // Step i: lowering into pseudo-SSA with contraction splitting, then
+    // canonicalization.
+    program_ =
+        std::make_unique<ir::Program>(ir::lower(ast_, options_.lowering));
+    ir::canonicalize(*program_);
+    break;
+  case Stage::Schedule:
+    // Step ii: reference schedule with materialized layouts.
+    schedule_ = sched::buildReferenceSchedule(*program_, options_.layouts);
+    break;
+  case Stage::Reschedule:
+    // Step iii: Pluto-lite rescheduling (in place).
+    sched::reschedule(schedule_, options_.reschedule);
+    break;
+  case Stage::Liveness:
+    liveness_ = mem::analyzeLiveness(schedule_);
+    break;
+  case Stage::MemoryPlan:
+    // Step iv: memory compatibility and the Mnemosyne-lite plan. The
+    // bank count was already matched to the unroll factor by
+    // normalizeOptions.
+    graph_ = mem::buildCompatibilityGraph(schedule_, liveness_);
+    plan_ = mem::planMemory(schedule_, graph_, options_.memory);
+    break;
+  case Stage::Hls:
+    kernel_ = hls::analyzeKernel(schedule_, plan_, options_.hls);
+    break;
+  case Stage::SysGen:
+    system_ =
+        sysgen::generateSystem(kernel_, plan_, schedule_, options_.system);
+    break;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  ran_[indexOf(stage)] = true;
+  millis_[indexOf(stage)] =
+      std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+const dsl::Program& Pipeline::ast() {
+  require(Stage::Parse);
+  return ast_;
+}
+
+const ir::Program& Pipeline::program() {
+  require(Stage::Lower);
+  return *program_;
+}
+
+const sched::Schedule& Pipeline::schedule() {
+  require(Stage::Reschedule);
+  return schedule_;
+}
+
+const mem::LivenessInfo& Pipeline::liveness() {
+  require(Stage::Liveness);
+  return liveness_;
+}
+
+const mem::CompatibilityGraph& Pipeline::compatibilityGraph() {
+  require(Stage::MemoryPlan);
+  return graph_;
+}
+
+const mem::MemoryPlan& Pipeline::memoryPlan() {
+  require(Stage::MemoryPlan);
+  return plan_;
+}
+
+const hls::KernelReport& Pipeline::kernelReport() {
+  require(Stage::Hls);
+  return kernel_;
+}
+
+const sysgen::SystemDesign& Pipeline::systemDesign() {
+  require(Stage::SysGen);
+  return system_;
+}
+
+} // namespace cfd

@@ -1,0 +1,124 @@
+// Staged pass pipeline (DESIGN.md §3) — the explicit stage graph behind
+// the Flow facade.
+//
+// The compilation flow is expressed as eight named stages with declared
+// inputs/outputs:
+//
+//   stage       inputs                      outputs
+//   ---------   -------------------------   --------------------------
+//   parse       CFDlang source              checked AST
+//   lower       AST, LoweringOptions        tensor IR (pseudo-SSA)
+//   schedule    IR, LayoutOptions           reference schedule + layouts
+//   reschedule  schedule, RescheduleOpts    Pluto-lite schedule
+//   liveness    schedule                    live intervals
+//   memory-plan liveness, MemoryPlanOpts    compatibility graph + PLM plan
+//   hls         schedule, plan, HlsOptions  kernel report
+//   sysgen      kernel, plan, SystemOpts    system design
+//
+// Stages execute lazily: requesting an artifact runs exactly the prefix
+// of the chain needed to produce it (the dependence structure of this
+// flow is linear), and each stage records its wall-clock time. A fully
+// run Pipeline is immutable and safe to share across threads; a Pipeline
+// that is still executing stages is single-threaded (FlowCache provides
+// the concurrent entry point).
+#pragma once
+
+#include "codegen/CEmitter.h"
+#include "dsl/AST.h"
+#include "hls/HlsModel.h"
+#include "ir/Lowering.h"
+#include "mem/Mnemosyne.h"
+#include "sched/Reschedule.h"
+#include "sysgen/SystemGenerator.h"
+
+#include <array>
+#include <memory>
+#include <string>
+
+namespace cfd {
+
+struct FlowOptions {
+  ir::LoweringOptions lowering;
+  sched::LayoutOptions layouts;
+  sched::RescheduleOptions reschedule; // default: Hardware objective
+  mem::MemoryPlanOptions memory;
+  hls::HlsOptions hls;
+  sysgen::SystemOptions system;
+  codegen::CEmitterOptions emitter;
+};
+
+/// Resolves the coupled option fields in one place, so cached and fresh
+/// compiles can never diverge: HLS unrolling demands a matching
+/// multi-bank memory architecture (paper §V-A2) and matching
+/// ARRAY_PARTITION pragmas in the emitted C.
+void normalizeOptions(FlowOptions& options);
+
+/// The named stages of the compilation pipeline, in execution order.
+enum class Stage {
+  Parse,
+  Lower,
+  Schedule,
+  Reschedule,
+  Liveness,
+  MemoryPlan,
+  Hls,
+  SysGen,
+};
+
+inline constexpr int kStageCount = 8;
+
+const char* stageName(Stage stage);
+/// Human-readable declared inputs/outputs of a stage (documentation and
+/// timing reports).
+const char* stageInputs(Stage stage);
+const char* stageOutputs(Stage stage);
+
+class Pipeline {
+public:
+  /// Captures the source and normalized options; runs nothing yet.
+  explicit Pipeline(std::string source, FlowOptions options = {});
+
+  /// Runs `stage` and every not-yet-run stage it depends on. Throws
+  /// FlowError on invalid input or infeasible constraints.
+  void require(Stage stage);
+  void runAll() { require(Stage::SysGen); }
+
+  bool hasRun(Stage stage) const;
+  /// Wall-clock milliseconds the stage took; 0 if it has not run.
+  double stageMillis(Stage stage) const;
+  double totalMillis() const;
+  /// One line per executed stage: name, time, declared outputs.
+  std::string timingReport() const;
+
+  const std::string& source() const { return source_; }
+  const FlowOptions& options() const { return options_; }
+
+  // ---- Stage artifacts (running their producing stage on demand) ----
+  const dsl::Program& ast();
+  const ir::Program& program();
+  const sched::Schedule& schedule();
+  const mem::LivenessInfo& liveness();
+  const mem::CompatibilityGraph& compatibilityGraph();
+  const mem::MemoryPlan& memoryPlan();
+  const hls::KernelReport& kernelReport();
+  const sysgen::SystemDesign& systemDesign();
+
+private:
+  void runStage(Stage stage);
+
+  std::string source_;
+  FlowOptions options_;
+  std::array<bool, kStageCount> ran_{};
+  std::array<double, kStageCount> millis_{};
+
+  dsl::Program ast_;
+  std::unique_ptr<ir::Program> program_;
+  sched::Schedule schedule_;
+  mem::LivenessInfo liveness_;
+  mem::CompatibilityGraph graph_;
+  mem::MemoryPlan plan_;
+  hls::KernelReport kernel_;
+  sysgen::SystemDesign system_;
+};
+
+} // namespace cfd

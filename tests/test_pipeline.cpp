@@ -1,0 +1,271 @@
+#include "core/Explorer.h"
+#include "core/FlowCache.h"
+#include "core/Pipeline.h"
+#include "support/Error.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace cfd {
+namespace {
+
+// ---- normalizeOptions: the single clamp site ----
+
+TEST(PipelineTest, NormalizeOptionsCouplesUnrollBanksAndPragmas) {
+  FlowOptions options;
+  options.hls.unrollFactor = 4;
+  normalizeOptions(options);
+  EXPECT_EQ(options.memory.banks, 4);
+  EXPECT_EQ(options.emitter.unrollFactor, 4);
+  // Idempotent, and never lowers an explicit larger request.
+  options.memory.banks = 8;
+  normalizeOptions(options);
+  EXPECT_EQ(options.memory.banks, 8);
+  EXPECT_EQ(options.emitter.unrollFactor, 4);
+}
+
+TEST(PipelineTest, FlowExposesNormalizedOptions) {
+  FlowOptions options;
+  options.hls.unrollFactor = 2;
+  const Flow flow = Flow::compile(test::kInverseHelmholtz, options);
+  EXPECT_EQ(flow.options().memory.banks, 2);
+  EXPECT_EQ(flow.options().emitter.unrollFactor, 2);
+}
+
+// ---- Lazy stage execution ----
+
+TEST(PipelineTest, StagesRunLazilyAndOnlyWhenRequested) {
+  Pipeline pipeline(test::kInverseHelmholtz);
+  for (int i = 0; i < kStageCount; ++i)
+    EXPECT_FALSE(pipeline.hasRun(static_cast<Stage>(i)));
+
+  pipeline.ast();
+  EXPECT_TRUE(pipeline.hasRun(Stage::Parse));
+  EXPECT_FALSE(pipeline.hasRun(Stage::Lower));
+
+  pipeline.schedule();
+  EXPECT_TRUE(pipeline.hasRun(Stage::Lower));
+  EXPECT_TRUE(pipeline.hasRun(Stage::Reschedule));
+  EXPECT_FALSE(pipeline.hasRun(Stage::Liveness));
+  EXPECT_FALSE(pipeline.hasRun(Stage::Hls));
+
+  pipeline.kernelReport();
+  EXPECT_TRUE(pipeline.hasRun(Stage::MemoryPlan));
+  EXPECT_TRUE(pipeline.hasRun(Stage::Hls));
+  EXPECT_FALSE(pipeline.hasRun(Stage::SysGen));
+
+  pipeline.systemDesign();
+  for (int i = 0; i < kStageCount; ++i)
+    EXPECT_TRUE(pipeline.hasRun(static_cast<Stage>(i)));
+  EXPECT_GT(pipeline.totalMillis(), 0.0);
+  EXPECT_FALSE(pipeline.timingReport().empty());
+}
+
+TEST(PipelineTest, LazyResultsMatchEagerFlow) {
+  Pipeline pipeline(test::kInverseHelmholtz);
+  const Flow flow = Flow::compile(test::kInverseHelmholtz);
+  EXPECT_EQ(pipeline.systemDesign().str(), flow.systemDesign().str());
+  EXPECT_EQ(pipeline.kernelReport().str(), flow.kernelReport().str());
+  EXPECT_EQ(pipeline.schedule().str(), flow.schedule().str());
+}
+
+TEST(PipelineTest, ParseErrorsSurfaceOnFirstRequirement) {
+  Pipeline pipeline("not a program");
+  EXPECT_THROW(pipeline.ast(), FlowError);
+  EXPECT_FALSE(pipeline.hasRun(Stage::Parse));
+}
+
+// ---- FlowCache ----
+
+TEST(FlowCacheTest, CachedCompileIsByteIdenticalToFresh) {
+  FlowCache cache;
+  const auto cached = cache.compile(test::kInverseHelmholtz);
+  const Flow fresh = Flow::compile(test::kInverseHelmholtz);
+  EXPECT_EQ(cached->cCode(), fresh.cCode());
+  EXPECT_EQ(cached->mnemosyneConfig(), fresh.mnemosyneConfig());
+  EXPECT_EQ(cached->hostCode(), fresh.hostCode());
+}
+
+TEST(FlowCacheTest, RepeatCompileHitsAndSharesTheInstance) {
+  FlowCache cache;
+  const auto first = cache.compile(test::kInverseHelmholtz);
+  const auto second = cache.compile(test::kInverseHelmholtz);
+  EXPECT_EQ(first.get(), second.get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.entries, 1);
+}
+
+TEST(FlowCacheTest, NormalizationUnifiesEquivalentSpellings) {
+  // unroll=2 implies banks=2; spelling banks=2 explicitly must land on
+  // the same cache entry.
+  FlowCache cache;
+  FlowOptions implicitBanks;
+  implicitBanks.hls.unrollFactor = 2;
+  FlowOptions explicitBanks;
+  explicitBanks.hls.unrollFactor = 2;
+  explicitBanks.memory.banks = 2;
+  explicitBanks.emitter.unrollFactor = 2;
+  const auto a = cache.compile(test::kInverseHelmholtz, implicitBanks);
+  const auto b = cache.compile(test::kInverseHelmholtz, explicitBanks);
+  EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(FlowCacheTest, DistinctOptionsGetDistinctEntries) {
+  FlowCache cache;
+  FlowOptions noSharing;
+  noSharing.memory.enableSharing = false;
+  const auto a = cache.compile(test::kInverseHelmholtz);
+  const auto b = cache.compile(test::kInverseHelmholtz, noSharing);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.stats().misses, 2);
+}
+
+TEST(FlowCacheTest, ConcurrentCompilesOfOneKeyDeduplicate) {
+  FlowCache cache;
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const Flow>> flows(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&cache, &flows, t] {
+      flows[t] = cache.compile(test::kInverseHelmholtz);
+    });
+  for (auto& thread : threads)
+    thread.join();
+  for (int t = 1; t < kThreads; ++t)
+    EXPECT_EQ(flows[0].get(), flows[t].get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, kThreads - 1);
+  EXPECT_EQ(stats.entries, 1);
+}
+
+TEST(FlowCacheTest, CapacityBoundsRetainedEntries) {
+  FlowCache cache;
+  cache.setCapacity(2);
+  for (int n : {5, 7, 9})
+    cache.compile(test::inverseHelmholtzSource(n));
+  EXPECT_EQ(cache.size(), 2u);
+  // The oldest entry (n = 5) was evicted; recompiling it is a miss.
+  cache.compile(test::inverseHelmholtzSource(5));
+  EXPECT_EQ(cache.stats().misses, 4);
+  // The still-resident newest entry is a hit.
+  cache.compile(test::inverseHelmholtzSource(9));
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(FlowCacheTest, CompileErrorsPropagateAndAreNotCached) {
+  FlowCache cache;
+  EXPECT_THROW(cache.compile("not a program"), FlowError);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_THROW(cache.compile("not a program"), FlowError);
+}
+
+// ---- Explorer ----
+
+std::vector<FlowOptions> smallSweep() {
+  std::vector<FlowOptions> variants;
+  for (bool sharing : {false, true})
+    for (int unroll : {1, 2}) {
+      FlowOptions options;
+      options.memory.enableSharing = sharing;
+      options.hls.unrollFactor = unroll;
+      variants.push_back(options);
+    }
+  return variants;
+}
+
+TEST(ExplorerTest, ResultsAreIndependentOfWorkerCount) {
+  const std::string source = test::inverseHelmholtzSource(5);
+  const std::vector<FlowOptions> variants = smallSweep();
+
+  FlowCache cacheA, cacheB;
+  ExplorerOptions serial;
+  serial.workers = 1;
+  serial.simulateElements = 1000;
+  serial.cache = &cacheA;
+  ExplorerOptions parallel = serial;
+  parallel.workers = 4;
+  parallel.cache = &cacheB;
+
+  const ExplorationResult a = explore(source, variants, serial);
+  const ExplorationResult b = explore(source, variants, parallel);
+  ASSERT_EQ(a.rows.size(), variants.size());
+  ASSERT_EQ(b.rows.size(), variants.size());
+  EXPECT_EQ(a.workers, 1);
+  EXPECT_EQ(b.workers, 4);
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    ASSERT_TRUE(a.rows[i].ok());
+    ASSERT_TRUE(b.rows[i].ok());
+    EXPECT_EQ(a.rows[i].index, i);
+    EXPECT_EQ(b.rows[i].index, i);
+    EXPECT_EQ(a.rows[i].flow->systemDesign().str(),
+              b.rows[i].flow->systemDesign().str());
+    EXPECT_EQ(a.rows[i].flow->cCode(), b.rows[i].flow->cCode());
+    EXPECT_EQ(a.rows[i].sim.totalTimeUs(), b.rows[i].sim.totalTimeUs());
+  }
+}
+
+TEST(ExplorerTest, InfeasibleVariantsReportErrorsWithoutAborting) {
+  std::vector<FlowOptions> variants(2);
+  variants[1].system.memories = 3; // not a power-of-two multiple of k
+  variants[1].system.kernels = 2;
+  ExplorerOptions options;
+  options.workers = 2;
+  FlowCache cache;
+  options.cache = &cache;
+  const ExplorationResult result =
+      explore(test::inverseHelmholtzSource(5), variants, options);
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_TRUE(result.rows[0].ok());
+  EXPECT_FALSE(result.rows[1].ok());
+  EXPECT_FALSE(result.rows[1].error.empty());
+  EXPECT_EQ(result.rows[1].flow, nullptr);
+  EXPECT_EQ(result.feasibleCount(), 1u);
+}
+
+TEST(ExplorerTest, SweepReusesTheSharedCacheAcrossRuns) {
+  FlowCache cache;
+  ExplorerOptions options;
+  options.workers = 2;
+  options.cache = &cache;
+  const std::string source = test::inverseHelmholtzSource(5);
+  const std::vector<FlowOptions> variants = smallSweep();
+  explore(source, variants, options);
+  const auto cold = cache.stats();
+  EXPECT_EQ(cold.misses, static_cast<std::int64_t>(variants.size()));
+  const ExplorationResult warm = explore(source, variants, options);
+  EXPECT_EQ(warm.cacheStats.misses, cold.misses);
+  EXPECT_EQ(warm.cacheStats.hits,
+            cold.hits + static_cast<std::int64_t>(variants.size()));
+}
+
+TEST(ExplorerTest, MixedSourceJobsExplore) {
+  std::vector<ExplorationJob> jobs;
+  for (int n : {5, 7}) {
+    ExplorationJob job;
+    job.source = test::inverseHelmholtzSource(n);
+    jobs.push_back(std::move(job));
+  }
+  FlowCache cache;
+  ExplorerOptions options;
+  options.cache = &cache;
+  options.simulateElements = 100;
+  const ExplorationResult result = explore(jobs, options);
+  ASSERT_EQ(result.rows.size(), 2u);
+  for (const ExplorationRow& row : result.rows) {
+    ASSERT_TRUE(row.ok());
+    EXPECT_TRUE(row.simulated);
+    EXPECT_GT(row.sim.totalTimeUs(), 0.0);
+  }
+  // Different degrees produce genuinely different systems.
+  EXPECT_NE(result.rows[0].flow->systemDesign().plmWindowBytes,
+            result.rows[1].flow->systemDesign().plmWindowBytes);
+}
+
+} // namespace
+} // namespace cfd

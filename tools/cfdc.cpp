@@ -15,9 +15,19 @@
 //   --layout=rowmajor|colmajor           default tensor layout
 //   --simulate=<Ne>                      simulate Ne elements and report
 //   --validate                           check against Eq. semantics
+//   --sweep=<key>=<v1,v2,...>            sweep a parameter (repeatable;
+//                                        axes combine as a cross product)
+//   --jobs=<n>                           sweep worker threads (0 = auto)
+//
+// Sweep keys: unroll, m, k, sharing, decoupled, objective, layout.
+// Example — explore unrolling against the memory architecture:
+//   cfdc --sweep=unroll=1,2,4 --sweep=sharing=0,1 --simulate=50000 k.cfd
+#include "core/Explorer.h"
 #include "core/Flow.h"
 #include "support/Error.h"
+#include "support/Format.h"
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -26,6 +36,11 @@
 
 namespace {
 
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
 struct CliOptions {
   std::string inputPath;
   std::string emit = "report";
@@ -33,6 +48,9 @@ struct CliOptions {
   cfd::FlowOptions flow;
   std::int64_t simulateElements = 0;
   bool validate = false;
+  bool emitExplicit = false;
+  std::vector<SweepAxis> sweeps;
+  int jobs = 0;
 };
 
 [[noreturn]] void usage(const std::string& error = {}) {
@@ -45,6 +63,10 @@ struct CliOptions {
   --no-sharing --coupled --m=N --k=N --unroll=N
   --objective=hw|sw --layout=rowmajor|colmajor
   --simulate=Ne --validate
+  --sweep=key=v1,v2,...                sweep axis (unroll|m|k|sharing|
+                                       decoupled|objective|layout); axes
+                                       cross-multiply
+  --jobs=N                             sweep worker threads (0 = auto)
 )";
   std::exit(error.empty() ? 0 : 2);
 }
@@ -57,6 +79,86 @@ bool consumeValue(const std::string& arg, const std::string& prefix,
   return true;
 }
 
+int parseInt(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t consumed = 0;
+    const int parsed = std::stoi(value, &consumed);
+    if (consumed != value.size())
+      usage(flag + " expects an integer (got '" + value + "')");
+    return parsed;
+  } catch (const std::exception&) {
+    usage(flag + " expects an integer (got '" + value + "')");
+  }
+}
+
+std::vector<std::string> splitCsv(const std::string& csv) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream stream(csv);
+  while (std::getline(stream, part, ','))
+    if (!part.empty())
+      parts.push_back(part);
+  return parts;
+}
+
+bool parseBool(const std::string& value, const std::string& flag) {
+  if (value == "1" || value == "yes" || value == "true")
+    return true;
+  if (value == "0" || value == "no" || value == "false")
+    return false;
+  usage(flag + " expects 0/1/yes/no/true/false (got '" + value + "')");
+}
+
+/// Applies one sweep axis value to a variant; the key set mirrors the
+/// single-shot flags above.
+void applySweepValue(cfd::FlowOptions& options, const std::string& key,
+                     const std::string& value) {
+  if (key == "unroll") {
+    options.hls.unrollFactor = parseInt(value, "--sweep=unroll");
+  } else if (key == "m") {
+    options.system.memories = parseInt(value, "--sweep=m");
+  } else if (key == "k") {
+    options.system.kernels = parseInt(value, "--sweep=k");
+  } else if (key == "sharing") {
+    options.memory.enableSharing = parseBool(value, "--sweep=sharing");
+  } else if (key == "decoupled") {
+    options.memory.decoupled = parseBool(value, "--sweep=decoupled");
+  } else if (key == "objective") {
+    if (value == "sw")
+      options.reschedule.objective = cfd::sched::ScheduleObjective::Software;
+    else if (value == "hw")
+      options.reschedule.objective = cfd::sched::ScheduleObjective::Hardware;
+    else
+      usage("--sweep=objective expects hw|sw (got '" + value + "')");
+  } else if (key == "layout") {
+    if (value == "colmajor")
+      options.layouts.defaultLayout = cfd::sched::LayoutKind::ColumnMajor;
+    else if (value == "rowmajor")
+      options.layouts.defaultLayout = cfd::sched::LayoutKind::RowMajor;
+    else
+      usage("--sweep=layout expects rowmajor|colmajor (got '" + value +
+            "')");
+  } else {
+    usage("unknown sweep key '" + key + "'");
+  }
+}
+
+SweepAxis parseSweepAxis(const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size())
+    usage("--sweep expects key=v1,v2,... (got '" + spec + "')");
+  SweepAxis axis;
+  axis.key = spec.substr(0, eq);
+  axis.values = splitCsv(spec.substr(eq + 1));
+  if (axis.values.empty())
+    usage("--sweep=" + axis.key + " has no values");
+  // Validate the key (and value syntax) eagerly for a friendly error.
+  cfd::FlowOptions probe;
+  for (const std::string& value : axis.values)
+    applySweepValue(probe, axis.key, value);
+  return axis;
+}
+
 CliOptions parseArgs(const std::vector<std::string>& args) {
   CliOptions options;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -66,6 +168,7 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
       usage();
     } else if (consumeValue(arg, "--emit=", value)) {
       options.emit = value;
+      options.emitExplicit = true;
     } else if (arg == "-o") {
       if (++i >= args.size())
         usage("-o requires a file name");
@@ -75,11 +178,11 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
     } else if (arg == "--coupled") {
       options.flow.memory.decoupled = false;
     } else if (consumeValue(arg, "--m=", value)) {
-      options.flow.system.memories = std::stoi(value);
+      options.flow.system.memories = parseInt(value, "--m");
     } else if (consumeValue(arg, "--k=", value)) {
-      options.flow.system.kernels = std::stoi(value);
+      options.flow.system.kernels = parseInt(value, "--k");
     } else if (consumeValue(arg, "--unroll=", value)) {
-      options.flow.hls.unrollFactor = std::stoi(value);
+      options.flow.hls.unrollFactor = parseInt(value, "--unroll");
     } else if (consumeValue(arg, "--objective=", value)) {
       if (value == "hw")
         options.flow.reschedule.objective =
@@ -100,6 +203,10 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
         usage("unknown layout '" + value + "'");
     } else if (consumeValue(arg, "--simulate=", value)) {
       options.simulateElements = std::stoll(value);
+    } else if (consumeValue(arg, "--sweep=", value)) {
+      options.sweeps.push_back(parseSweepAxis(value));
+    } else if (consumeValue(arg, "--jobs=", value)) {
+      options.jobs = parseInt(value, "--jobs");
     } else if (arg == "--validate") {
       options.validate = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -112,7 +219,91 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
   }
   if (options.inputPath.empty())
     usage("no input file");
+  // --sweep replaces the single-shot artifact/validation path; refuse
+  // combinations that would otherwise be silently ignored.
+  if (!options.sweeps.empty() &&
+      (options.emitExplicit || options.validate ||
+       !options.outputPath.empty()))
+    usage("--sweep cannot be combined with --emit, -o, or --validate");
   return options;
+}
+
+/// Cross product of every sweep axis; each variant starts from the base
+/// flags so `--unroll=2 --sweep=m=4,8` behaves as expected.
+void buildVariants(const CliOptions& options, std::size_t axisIndex,
+                   cfd::FlowOptions current, std::string label,
+                   std::vector<cfd::FlowOptions>& variants,
+                   std::vector<std::string>& labels) {
+  if (axisIndex == options.sweeps.size()) {
+    variants.push_back(std::move(current));
+    labels.push_back(label.empty() ? "base" : label);
+    return;
+  }
+  const SweepAxis& axis = options.sweeps[axisIndex];
+  for (const std::string& value : axis.values) {
+    cfd::FlowOptions next = current;
+    applySweepValue(next, axis.key, value);
+    buildVariants(options, axisIndex + 1, std::move(next),
+                  label.empty() ? axis.key + "=" + value
+                                : label + " " + axis.key + "=" + value,
+                  variants, labels);
+  }
+}
+
+int runSweep(const CliOptions& options, const std::string& source) {
+  using cfd::formatFixed;
+  using cfd::padLeft;
+  using cfd::padRight;
+
+  std::vector<cfd::FlowOptions> variants;
+  std::vector<std::string> labels;
+  buildVariants(options, 0, options.flow, "", variants, labels);
+
+  cfd::ExplorerOptions explorerOptions;
+  explorerOptions.workers = options.jobs;
+  explorerOptions.simulateElements = options.simulateElements;
+  const cfd::ExplorationResult result =
+      cfd::explore(source, variants, explorerOptions);
+
+  std::size_t labelWidth = 12;
+  for (const std::string& label : labels)
+    labelWidth = std::max(labelWidth, label.size() + 2);
+
+  std::cout << "  " << padRight("variant", labelWidth)
+            << padLeft("m", 5) << padLeft("k", 5)
+            << padLeft("BRAM/PLM", 10) << padLeft("kernel us", 11);
+  if (options.simulateElements > 0)
+    std::cout << padLeft("total ms", 10) << padLeft("elements/s", 12);
+  std::cout << "\n";
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    const cfd::ExplorationRow& row = result.rows[i];
+    std::cout << "  " << padRight(labels[i], labelWidth);
+    if (!row.ok()) {
+      std::cout << "infeasible: " << row.error << "\n";
+      continue;
+    }
+    const auto& design = row.flow->systemDesign();
+    std::cout << padLeft(std::to_string(design.m), 5)
+              << padLeft(std::to_string(design.k), 5)
+              << padLeft(std::to_string(design.plmBram36PerUnit), 10)
+              << padLeft(formatFixed(row.flow->kernelReport().timeUs(), 1),
+                         11);
+    if (row.simulated) {
+      const double elementsPerSecond =
+          static_cast<double>(options.simulateElements) /
+          (row.sim.totalTimeUs() / 1e6);
+      std::cout << padLeft(formatFixed(row.sim.totalTimeUs() / 1e3, 1), 10)
+                << padLeft(formatFixed(elementsPerSecond, 0), 12);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "  " << result.rows.size() << " variants ("
+            << result.feasibleCount() << " feasible) on " << result.workers
+            << (result.workers == 1 ? " worker in " : " workers in ")
+            << formatFixed(result.wallMillis, 1) << " ms; cache "
+            << result.cacheStats.hits << " hits / "
+            << result.cacheStats.misses << " misses\n";
+  return 0;
 }
 
 std::string report(const cfd::Flow& flow) {
@@ -140,6 +331,9 @@ int main(int argc, char** argv) {
   source << input.rdbuf();
 
   try {
+    if (!options.sweeps.empty())
+      return runSweep(options, source.str());
+
     const cfd::Flow flow = cfd::Flow::compile(source.str(), options.flow);
 
     std::string artifact;
