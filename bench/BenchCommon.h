@@ -8,8 +8,11 @@
 #include "core/Explorer.h"
 #include "core/Flow.h"
 #include "core/FlowCache.h"
+#include "core/Tuner.h"
 #include "support/Format.h"
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -53,6 +56,24 @@ inline void printRow(const std::string& label, double paper, double measured,
             << padLeft(formatFixed(paper, digits), 9) << "   measured "
             << padLeft(formatFixed(measured, digits), 9) << "   ratio "
             << formatFixed(paper != 0 ? measured / paper : 0.0, 3) << "\n";
+}
+
+/// Benches that run an auto-tuning pass (core/Tuner.h) emit the JSON
+/// report (DESIGN.md §8) to the path in $CFD_TUNE_REPORT when it is
+/// set, so CI and plotting scripts can consume bench results without
+/// scraping the printed tables. Returns whether a report was written.
+inline bool maybeWriteTuningReport(const TuningReport& report) {
+  const char* path = std::getenv("CFD_TUNE_REPORT");
+  if (path == nullptr || *path == '\0')
+    return false;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write tuning report '" << path << "'\n";
+    return false;
+  }
+  out << report.jsonText();
+  std::cout << "  (JSON tuning report written to " << path << ")\n";
+  return true;
 }
 
 inline void printCountRow(const std::string& label, std::int64_t paper,

@@ -99,5 +99,26 @@ int main() {
   std::cout << "\n  Element independence makes multi-board scaling linear "
                "up to the host\n  distribution bandwidth — the premise of "
                "the paper's cluster outlook.\n";
+
+  // Auto-tune the replication degree on the ZCU106 (m with k = m, plus
+  // sharing) and report the latency/BRAM Pareto frontier; the Tuner
+  // prunes non-power-of-two m/k combinations before compiling and
+  // $CFD_TUNE_REPORT captures the JSON report (DESIGN.md §7-§8).
+  TuneSpace space;
+  space.axes.push_back(TuneAxis{"m", {"4", "8", "16"}});
+  space.axes.push_back(TuneAxis{"sharing", {"0", "1"}});
+  TunerOptions tunerOptions;
+  tunerOptions.simulateElements = kNumElements;
+  const TuningReport tuned =
+      tune(kInverseHelmholtz, space, tunerOptions);
+  std::cout << "\n  auto-tuned m x sharing (latency, BRAM), Pareto "
+               "frontier:\n";
+  for (std::size_t index : tuned.frontier) {
+    const TunedPoint& point = tuned.points[index];
+    std::cout << "  " << padRight(point.label(), 18)
+              << padLeft(formatFixed(point.scores[0], 2), 10) << " us/elem"
+              << padLeft(formatFixed(point.scores[1], 0), 7) << " BRAM\n";
+  }
+  maybeWriteTuningReport(tuned);
   return 0;
 }

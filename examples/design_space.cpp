@@ -10,11 +10,18 @@
 // quantify what the staged pipeline buys over re-running all eight
 // stages from scratch per variant.
 //
-//   $ ./design_space
+// A final auto-tuning pass (core/Tuner.h, DESIGN.md §7) searches the
+// unroll x sharing space of the p = 11 kernel and prints its Pareto
+// frontier; pass a file name to also write the JSON tuning report
+// (DESIGN.md §8).
+//
+//   $ ./design_space [tuning-report.json]
 #include "core/Explorer.h"
+#include "core/Tuner.h"
 #include "support/Format.h"
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -76,9 +83,53 @@ double sequentialEagerMillis(const std::vector<cfd::ExplorationJob>& jobs) {
       .count();
 }
 
+/// Auto-tune the p = 11 kernel over unroll x sharing and print the
+/// latency/BRAM Pareto frontier (writing the JSON report when asked).
+void runTuningPass(const std::string& reportPath) {
+  using cfd::formatFixed;
+  using cfd::padLeft;
+  using cfd::padRight;
+
+  cfd::TuneSpace space;
+  space.axes.push_back(cfd::TuneAxis{"unroll", {"1", "2", "4"}});
+  space.axes.push_back(cfd::TuneAxis{"sharing", {"0", "1"}});
+
+  cfd::TunerOptions tunerOptions;
+  tunerOptions.simulateElements = 50000;
+  cfd::FlowCache tuneCache;
+  tunerOptions.cache = &tuneCache;
+  const cfd::TuningReport report =
+      cfd::tune(helmholtzSource(11), space, tunerOptions);
+
+  std::cout << "\nAuto-tuned unroll x sharing (objectives: latency, "
+               "BRAM):\n";
+  for (const cfd::TunedPoint& point : report.points) {
+    std::cout << "  " << padRight(point.label(), 22);
+    if (!point.row.ok()) {
+      std::cout << "infeasible: " << point.row.error << "\n";
+      continue;
+    }
+    std::cout << padLeft(formatFixed(point.scores[0], 2), 10) << " us/elem"
+              << padLeft(formatFixed(point.scores[1], 0), 7) << " BRAM"
+              << (point.onFrontier ? "   <- Pareto" : "") << "\n";
+  }
+  std::cout << "  (" << report.points.size() << " points, "
+            << report.frontier.size() << " on the frontier)\n";
+
+  if (!reportPath.empty()) {
+    std::ofstream out(reportPath);
+    if (!out) {
+      std::cerr << "cannot write '" << reportPath << "'\n";
+      return;
+    }
+    out << report.jsonText();
+    std::cout << "  JSON tuning report written to " << reportPath << "\n";
+  }
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using cfd::formatFixed;
   using cfd::padLeft;
 
@@ -137,5 +188,7 @@ int main() {
             << padLeft(formatFixed(warm.wallMillis, 1), 9) << " ms\n"
             << "  cache: " << stats.hits << " hits / " << stats.misses
             << " misses / " << stats.entries << " entries\n";
+
+  runTuningPass(argc > 1 ? argv[1] : "");
   return 0;
 }

@@ -17,6 +17,14 @@ std::size_t ExplorationResult::feasibleCount() const {
   return count;
 }
 
+std::size_t ExplorationResult::cacheHitCount() const {
+  std::size_t count = 0;
+  for (const ExplorationRow& row : rows)
+    if (row.cacheHit)
+      ++count;
+  return count;
+}
+
 namespace {
 
 ExplorationRow runJob(std::size_t index, const ExplorationJob& job,
@@ -27,7 +35,7 @@ ExplorationRow runJob(std::size_t index, const ExplorationJob& job,
   normalizeOptions(row.options);
   const auto start = std::chrono::steady_clock::now();
   try {
-    row.flow = cache.compile(job.source, job.options);
+    row.flow = cache.compile(job.source, job.options, &row.cacheHit);
     row.compileMillis = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - start)
                             .count();

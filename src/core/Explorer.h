@@ -32,7 +32,11 @@ struct ExplorationRow {
   FlowOptions options;     // normalized
   std::shared_ptr<const Flow> flow; // null when the variant is infeasible
   std::string error;       // FlowError message for infeasible variants
-  double compileMillis = 0; // wall time of the compile (0 on cache hit)
+  /// True when the Flow was served from the FlowCache (or an in-flight
+  /// compile) instead of being compiled by this row's worker. On a hit
+  /// compileMillis is the (near-zero) lookup time, not a compile.
+  bool cacheHit = false;
+  double compileMillis = 0; // wall time of the compile or cache lookup
   bool simulated = false;
   sim::SimResult sim;      // valid when simulated
 
@@ -58,6 +62,8 @@ struct ExplorationResult {
   FlowCache::Stats cacheStats; // stats of the cache used, after the sweep
 
   std::size_t feasibleCount() const;
+  /// Rows whose Flow came from the cache rather than a fresh compile.
+  std::size_t cacheHitCount() const;
 };
 
 /// Explores arbitrary (source, options) jobs.

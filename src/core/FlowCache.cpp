@@ -144,10 +144,13 @@ bool equalOptions(const FlowOptions& a, const FlowOptions& b) {
 }
 
 std::shared_ptr<const Flow> FlowCache::compile(const std::string& source,
-                                               FlowOptions options) {
+                                               FlowOptions options,
+                                               bool* cacheHit) {
   // Normalize before keying so every spelling of the same effective
   // configuration shares one entry (and matches what Pipeline compiles).
   normalizeOptions(options);
+  if (cacheHit)
+    *cacheHit = false;
   Hasher keyHasher;
   keyHasher.mix(source);
   keyHasher.mix(hashValue(options));
@@ -162,10 +165,14 @@ std::shared_ptr<const Flow> FlowCache::compile(const std::string& source,
       for (const Entry& entry : bucket->second)
         if (entry.source == source && equalOptions(entry.options, options)) {
           ++hits_;
+          if (cacheHit)
+            *cacheHit = true;
           return entry.flow;
         }
     if (const auto it = inFlight_.find(key); it != inFlight_.end()) {
       ++hits_;
+      if (cacheHit)
+        *cacheHit = true;
       pending = it->second;
     } else {
       ++misses_;
@@ -175,8 +182,19 @@ std::shared_ptr<const Flow> FlowCache::compile(const std::string& source,
     }
   }
 
-  if (!owner)
-    return pending.get(); // rethrows the owner's FlowError, if any
+  if (!owner) {
+    auto flow = pending.get(); // rethrows the owner's FlowError, if any
+    // The in-flight map is keyed by the 64-bit hash alone; verify we
+    // actually waited on our own configuration so a key collision
+    // degrades to an extra compile, never a wrong result (the same
+    // invariant the entries_ buckets enforce).
+    if (flow->pipeline().source() == source &&
+        equalOptions(flow->options(), options))
+      return flow;
+    if (cacheHit)
+      *cacheHit = false;
+    return std::make_shared<const Flow>(Flow::compile(source, options));
+  }
 
   try {
     auto flow =

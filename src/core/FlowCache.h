@@ -41,8 +41,12 @@ public:
 
   /// Returns the memoized Flow for (source, options), compiling it on
   /// the first request. Compilation errors propagate to every waiter.
+  /// When `cacheHit` is non-null it is set to true iff the request was
+  /// served from the cache or an in-flight compile (the per-call view
+  /// of Stats::hits, which only aggregates).
   std::shared_ptr<const Flow> compile(const std::string& source,
-                                      FlowOptions options = {});
+                                      FlowOptions options = {},
+                                      bool* cacheHit = nullptr);
 
   Stats stats() const;
   std::size_t size() const;

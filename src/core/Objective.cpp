@@ -1,0 +1,63 @@
+#include "core/Objective.h"
+
+#include "support/Error.h"
+
+namespace cfd {
+
+Objective latencyObjective() {
+  return Objective{"latency", [](const ExplorationRow& row) {
+                     if (row.simulated)
+                       return row.sim.usPerElement();
+                     const auto& design = row.flow->systemDesign();
+                     return row.flow->kernelReport().timeUs() /
+                            static_cast<double>(design.k);
+                   }};
+}
+
+Objective bramObjective() {
+  return Objective{"bram", [](const ExplorationRow& row) {
+                     return static_cast<double>(
+                         row.flow->systemDesign().total.bram36);
+                   }};
+}
+
+Objective dspObjective() {
+  return Objective{"dsp", [](const ExplorationRow& row) {
+                     return static_cast<double>(
+                         row.flow->systemDesign().total.dsp);
+                   }};
+}
+
+Objective lutObjective() {
+  return Objective{"lut", [](const ExplorationRow& row) {
+                     return static_cast<double>(
+                         row.flow->systemDesign().total.lut);
+                   }};
+}
+
+Objective compileTimeObjective() {
+  return Objective{"compile_ms", [](const ExplorationRow& row) {
+                     return row.compileMillis;
+                   }};
+}
+
+std::vector<Objective> defaultObjectives() {
+  return {latencyObjective(), bramObjective()};
+}
+
+Objective objectiveByName(const std::string& name) {
+  if (name == "latency")
+    return latencyObjective();
+  if (name == "bram")
+    return bramObjective();
+  if (name == "dsp")
+    return dspObjective();
+  if (name == "lut")
+    return lutObjective();
+  if (name == "compile_ms")
+    return compileTimeObjective();
+  throw FlowError("unknown objective '" + name +
+                  "' (valid: latency, bram, dsp, lut, compile_ms)");
+}
+
+} // namespace cfd

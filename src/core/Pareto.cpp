@@ -1,0 +1,36 @@
+#include "core/Pareto.h"
+
+#include "support/Error.h"
+
+namespace cfd {
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  CFD_ASSERT(a.size() == b.size(),
+             "dominance needs equal objective counts");
+  bool strictlyBetter = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i])
+      return false;
+    if (a[i] < b[i])
+      strictlyBetter = true;
+  }
+  return strictlyBetter;
+}
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<std::vector<double>>& points) {
+  // O(n^2) pairwise scan: tuning runs evaluate at most a few thousand
+  // points, far below where divide-and-conquer frontiers pay off.
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j)
+      if (j != i && dominates(points[j], points[i]))
+        dominated = true;
+    if (!dominated)
+      frontier.push_back(i);
+  }
+  return frontier;
+}
+
+} // namespace cfd

@@ -1,0 +1,26 @@
+// Multi-objective Pareto dominance (DESIGN.md §7).
+//
+// Tuning scores every design point under several objectives at once
+// (latency, BRAM, DSP, ...), all minimized. There is rarely a single
+// winner — a smaller system is usually slower — so the Tuner reports
+// the Pareto frontier: the set of points no other point beats on every
+// objective simultaneously. Plain vector math, no Flow types, so the
+// frontier computation is trivially unit-testable on hand-built rows.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cfd {
+
+/// True when `a` dominates `b` under minimization: a <= b in every
+/// objective and a < b in at least one. Vectors must have equal size.
+bool dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Indices of the non-dominated points, in input order. Duplicate
+/// points (equal in every objective) are all kept: neither dominates
+/// the other. An empty input yields an empty frontier.
+std::vector<std::size_t>
+paretoFrontier(const std::vector<std::vector<double>>& points);
+
+} // namespace cfd

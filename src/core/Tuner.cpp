@@ -1,0 +1,515 @@
+#include "core/Tuner.h"
+
+#include "core/Pareto.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cfd {
+
+namespace {
+
+int parseIntValue(const std::string& value, const std::string& key) {
+  try {
+    std::size_t consumed = 0;
+    const int parsed = std::stoi(value, &consumed);
+    if (consumed != value.size())
+      throw FlowError("");
+    return parsed;
+  } catch (const std::exception&) {
+    throw FlowError("parameter '" + key + "' expects an integer (got '" +
+                    value + "')");
+  }
+}
+
+bool parseBoolValue(const std::string& value, const std::string& key) {
+  if (value == "1" || value == "yes" || value == "true")
+    return true;
+  if (value == "0" || value == "no" || value == "false")
+    return false;
+  throw FlowError("parameter '" + key +
+                  "' expects 0/1/yes/no/true/false (got '" + value + "')");
+}
+
+bool isPow2(int value) { return value > 0 && (value & (value - 1)) == 0; }
+
+/// Deterministic 64-bit generator (SplitMix64). Used instead of
+/// std::uniform_int_distribution, whose output is implementation-
+/// defined: the Random strategy must draw the same points on every
+/// platform for a given seed.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform-ish draw in [0, bound); the modulo bias is irrelevant for
+  /// sampling design points but the sequence is fully deterministic.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+private:
+  std::uint64_t state_;
+};
+
+/// A point of the space as one value index per axis; `flatten` maps it
+/// to its mixed-radix rank in [0, space.size()), used as the dedup key
+/// and as the Random strategy's sample domain.
+using Combo = std::vector<std::size_t>;
+
+std::uint64_t flatten(const TuneSpace& space, const Combo& combo) {
+  std::uint64_t rank = 0;
+  for (std::size_t axis = 0; axis < space.axes.size(); ++axis)
+    rank = rank * space.axes[axis].values.size() + combo[axis];
+  return rank;
+}
+
+Combo unflatten(const TuneSpace& space, std::uint64_t rank) {
+  Combo combo(space.axes.size(), 0);
+  for (std::size_t axis = space.axes.size(); axis-- > 0;) {
+    const std::size_t radix = space.axes[axis].values.size();
+    combo[axis] = static_cast<std::size_t>(rank % radix);
+    rank /= radix;
+  }
+  return combo;
+}
+
+FlowOptions buildOptions(const TuneSpace& space, const Combo& combo,
+                         const FlowOptions& base) {
+  FlowOptions options = base;
+  for (std::size_t axis = 0; axis < space.axes.size(); ++axis)
+    applyTuneParam(options, space.axes[axis].key,
+                   space.axes[axis].values[combo[axis]]);
+  return options;
+}
+
+std::vector<std::pair<std::string, std::string>>
+comboParams(const TuneSpace& space, const Combo& combo) {
+  std::vector<std::pair<std::string, std::string>> params;
+  params.reserve(space.axes.size());
+  for (std::size_t axis = 0; axis < space.axes.size(); ++axis)
+    params.emplace_back(space.axes[axis].key,
+                        space.axes[axis].values[combo[axis]]);
+  return params;
+}
+
+/// Shared state of one tune() run.
+class TuneRun {
+public:
+  TuneRun(const std::string& source, const TuneSpace& space,
+          const TunerOptions& options)
+      : source_(source), space_(space), options_(options) {
+    objectives_ =
+        options.objectives.empty() ? defaultObjectives() : options.objectives;
+    CFD_ASSERT(!objectives_.empty(), "tuning needs at least one objective");
+  }
+
+  /// True when the point passed the structural pre-filter (and was
+  /// queued or already evaluated); false when it was pruned. Each
+  /// distinct pruned point counts once.
+  bool consider(const Combo& combo) {
+    const std::uint64_t rank = flatten(space_, combo);
+    if (seen_.count(rank))
+      return pointIndex_.count(rank) != 0 || queuedRanks_.count(rank) != 0;
+    seen_.insert(rank);
+    const FlowOptions pointOptions =
+        buildOptions(space_, combo, options_.base);
+    if (!checkStructuralFeasibility(pointOptions).empty()) {
+      ++pruned_;
+      return false;
+    }
+    queue_.push_back(combo);
+    queuedRanks_.insert(rank);
+    return true;
+  }
+
+  /// Compiles (through the shared cache) and scores every queued point
+  /// in one parallel Explorer batch; appends them to the report.
+  void evaluateQueued(TuningReport& report) {
+    if (queue_.empty())
+      return;
+    std::vector<FlowOptions> variants;
+    variants.reserve(queue_.size());
+    for (const Combo& combo : queue_)
+      variants.push_back(buildOptions(space_, combo, options_.base));
+
+    ExplorerOptions explorerOptions;
+    explorerOptions.workers = options_.workers;
+    explorerOptions.simulateElements = options_.simulateElements;
+    explorerOptions.transferStrategy = options_.transferStrategy;
+    explorerOptions.cache = options_.cache;
+    const ExplorationResult batch =
+        explore(source_, variants, explorerOptions);
+    if (report.workers < batch.workers)
+      report.workers = batch.workers;
+
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      TunedPoint point;
+      point.params = comboParams(space_, queue_[i]);
+      point.row = batch.rows[i];
+      if (point.row.ok()) {
+        point.scores.reserve(objectives_.size());
+        for (const Objective& objective : objectives_)
+          point.scores.push_back(objective.score(point.row));
+      }
+      pointIndex_[flatten(space_, queue_[i])] = report.points.size();
+      report.points.push_back(std::move(point));
+    }
+    queue_.clear();
+    queuedRanks_.clear();
+  }
+
+  /// Primary-objective score of an already evaluated point; +inf for
+  /// infeasible points (never selected by hill-climb).
+  double primaryScore(const TuningReport& report, const Combo& combo) const {
+    const auto it = pointIndex_.find(flatten(space_, combo));
+    CFD_ASSERT(it != pointIndex_.end(), "point was never evaluated");
+    const TunedPoint& point = report.points[it->second];
+    return point.row.ok() ? point.scores.front()
+                          : std::numeric_limits<double>::infinity();
+  }
+
+  std::size_t prunedCount() const { return pruned_; }
+  /// Points queued for the next evaluateQueued() batch.
+  std::size_t pendingCount() const { return queue_.size(); }
+  const std::vector<Objective>& objectives() const { return objectives_; }
+
+private:
+  const std::string& source_;
+  const TuneSpace& space_;
+  const TunerOptions& options_;
+  std::vector<Objective> objectives_;
+  std::vector<Combo> queue_;
+  std::unordered_set<std::uint64_t> queuedRanks_;
+  std::unordered_set<std::uint64_t> seen_; // considered (pruned or queued)
+  std::unordered_map<std::uint64_t, std::size_t> pointIndex_;
+  std::size_t pruned_ = 0;
+};
+
+void runExhaustive(TuneRun& run, const TuneSpace& space,
+                   TuningReport& report) {
+  const std::size_t total = space.size();
+  for (std::uint64_t rank = 0; rank < total; ++rank)
+    run.consider(unflatten(space, rank));
+  run.evaluateQueued(report);
+}
+
+void runRandom(TuneRun& run, const TuneSpace& space,
+               const TunerOptions& options, TuningReport& report) {
+  const std::size_t total = space.size();
+  const std::size_t target = std::min(options.sampleCount, total);
+  SplitMix64 rng(options.seed);
+  // Sampling without replacement by rejection: duplicate draws and
+  // pruned points don't count toward the target (consider() dedups),
+  // and the attempt bound keeps a space dominated by structurally
+  // infeasible points from spinning forever.
+  const std::size_t maxAttempts = 64 * std::max<std::size_t>(total, 1);
+  for (std::size_t attempt = 0;
+       run.pendingCount() < target && attempt < maxAttempts; ++attempt)
+    run.consider(unflatten(space, rng.below(total)));
+  run.evaluateQueued(report);
+}
+
+void runHillClimb(TuneRun& run, const TuneSpace& space,
+                  const TunerOptions& options, TuningReport& report) {
+  const std::size_t total = space.size();
+  // Deterministic start: the lexicographically first point that passes
+  // the structural pre-filter.
+  Combo current;
+  for (std::uint64_t rank = 0; rank < total; ++rank) {
+    Combo candidate = unflatten(space, rank);
+    if (run.consider(candidate)) {
+      current = std::move(candidate);
+      break;
+    }
+  }
+  if (current.empty() && !space.axes.empty())
+    return; // every point structurally infeasible
+  run.evaluateQueued(report);
+
+  for (std::size_t step = 0; step < options.maxSteps; ++step) {
+    // Neighbors differ by one step along one axis. Evaluate the whole
+    // neighborhood as one parallel batch, then move greedily.
+    std::vector<Combo> neighbors;
+    for (std::size_t axis = 0; axis < space.axes.size(); ++axis)
+      for (int delta : {-1, +1}) {
+        if (delta < 0 && current[axis] == 0)
+          continue;
+        if (delta > 0 &&
+            current[axis] + 1 >= space.axes[axis].values.size())
+          continue;
+        Combo neighbor = current;
+        neighbor[axis] =
+            current[axis] + static_cast<std::size_t>(delta < 0 ? -1 : 1);
+        if (run.consider(neighbor))
+          neighbors.push_back(std::move(neighbor));
+      }
+    run.evaluateQueued(report);
+
+    const double currentScore = run.primaryScore(report, current);
+    double bestScore = currentScore;
+    const Combo* best = nullptr;
+    for (const Combo& neighbor : neighbors) {
+      const double score = run.primaryScore(report, neighbor);
+      // Strict improvement with first-wins tie-breaking keeps the walk
+      // deterministic and guarantees termination.
+      if (score < bestScore) {
+        bestScore = score;
+        best = &neighbor;
+      }
+    }
+    if (!best)
+      break; // local optimum
+    current = *best;
+  }
+}
+
+} // namespace
+
+std::size_t TuneSpace::size() const {
+  std::size_t total = 1;
+  for (const TuneAxis& axis : axes)
+    total *= axis.values.size();
+  return total;
+}
+
+TuneSpace defaultTuneSpace() {
+  return TuneSpace{{
+      {"unroll", {"1", "2", "4"}},
+      {"sharing", {"0", "1"}},
+      {"decoupled", {"0", "1"}},
+  }};
+}
+
+void applyTuneParam(FlowOptions& options, const std::string& key,
+                    const std::string& value) {
+  if (key == "unroll") {
+    options.hls.unrollFactor = parseIntValue(value, key);
+  } else if (key == "m") {
+    options.system.memories = parseIntValue(value, key);
+  } else if (key == "k") {
+    options.system.kernels = parseIntValue(value, key);
+  } else if (key == "sharing") {
+    options.memory.enableSharing = parseBoolValue(value, key);
+  } else if (key == "decoupled") {
+    options.memory.decoupled = parseBoolValue(value, key);
+  } else if (key == "objective") {
+    if (value == "sw")
+      options.reschedule.objective = sched::ScheduleObjective::Software;
+    else if (value == "hw")
+      options.reschedule.objective = sched::ScheduleObjective::Hardware;
+    else
+      throw FlowError("parameter 'objective' expects hw|sw (got '" + value +
+                      "')");
+  } else if (key == "layout") {
+    if (value == "colmajor")
+      options.layouts.defaultLayout = sched::LayoutKind::ColumnMajor;
+    else if (value == "rowmajor")
+      options.layouts.defaultLayout = sched::LayoutKind::RowMajor;
+    else
+      throw FlowError("parameter 'layout' expects rowmajor|colmajor (got '" +
+                      value + "')");
+  } else {
+    throw FlowError("unknown parameter '" + key +
+                    "' (valid: unroll, m, k, sharing, decoupled, "
+                    "objective, layout)");
+  }
+}
+
+std::string checkStructuralFeasibility(const FlowOptions& options) {
+  const int m = options.system.memories;
+  const int k = options.system.kernels;
+  if (options.hls.unrollFactor < 1)
+    return "unroll factor must be >= 1";
+  if (m < 0 || k < 0)
+    return "m and k must be >= 0 (0 = auto)";
+  // m = 0 or k = 0 means "resolve against the compiled kernel's
+  // resource usage" (sysgen), which a pre-filter cannot decide.
+  if (m > 0 && k > 0) {
+    if (k > m)
+      return "k <= m is required (each accelerator needs a memory)";
+    if (m % k != 0 || !isPow2(m / k))
+      return "m must be a power-of-two multiple of k (paper Sec. V-B)";
+  }
+  return "";
+}
+
+const char* searchStrategyName(SearchStrategy strategy) {
+  switch (strategy) {
+  case SearchStrategy::Exhaustive: return "exhaustive";
+  case SearchStrategy::Random: return "random";
+  case SearchStrategy::HillClimb: return "hillclimb";
+  }
+  CFD_UNREACHABLE("bad SearchStrategy");
+}
+
+SearchStrategy searchStrategyByName(const std::string& name) {
+  if (name == "exhaustive")
+    return SearchStrategy::Exhaustive;
+  if (name == "random")
+    return SearchStrategy::Random;
+  if (name == "hillclimb")
+    return SearchStrategy::HillClimb;
+  throw FlowError("unknown search strategy '" + name +
+                  "' (valid: exhaustive, random, hillclimb)");
+}
+
+std::string TunedPoint::label() const {
+  if (params.empty())
+    return "base";
+  std::string label;
+  for (const auto& [key, value] : params) {
+    if (!label.empty())
+      label += ' ';
+    label += key + "=" + value;
+  }
+  return label;
+}
+
+TuningReport tune(const std::string& source, const TuneSpace& space,
+                  const TunerOptions& options) {
+  // Validate the axes eagerly so a typo fails fast instead of
+  // surfacing as N identical per-point errors.
+  for (const TuneAxis& axis : space.axes) {
+    if (axis.values.empty())
+      throw FlowError("tune axis '" + axis.key + "' has no values");
+    FlowOptions probe;
+    for (const std::string& value : axis.values)
+      applyTuneParam(probe, axis.key, value);
+  }
+
+  TuningReport report;
+  report.strategy = options.strategy;
+  report.seed = options.seed;
+  report.space = space;
+  report.spaceSize = space.size();
+
+  TuneRun run(source, space, options);
+  for (const Objective& objective : run.objectives())
+    report.objectives.push_back(objective.name);
+
+  const auto start = std::chrono::steady_clock::now();
+  switch (options.strategy) {
+  case SearchStrategy::Exhaustive:
+    runExhaustive(run, space, report);
+    break;
+  case SearchStrategy::Random:
+    runRandom(run, space, options, report);
+    break;
+  case SearchStrategy::HillClimb:
+    runHillClimb(run, space, options, report);
+    break;
+  }
+  report.wallMillis = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+
+  report.prunedCount = run.prunedCount();
+  std::vector<std::size_t> feasibleIndices;
+  std::vector<std::vector<double>> feasibleScores;
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    const TunedPoint& point = report.points[i];
+    if (point.row.cacheHit)
+      ++report.cacheHitCount;
+    if (!point.row.ok())
+      continue;
+    ++report.feasibleCount;
+    feasibleIndices.push_back(i);
+    feasibleScores.push_back(point.scores);
+  }
+  for (std::size_t frontierIndex : paretoFrontier(feasibleScores)) {
+    const std::size_t pointIndex = feasibleIndices[frontierIndex];
+    report.points[pointIndex].onFrontier = true;
+    report.frontier.push_back(pointIndex);
+  }
+  return report;
+}
+
+json::Value TuningReport::toJson() const {
+  json::Value root = json::Value::object();
+  root.set("schema", "cfd-tune-report-v1");
+  root.set("strategy", searchStrategyName(strategy));
+  root.set("seed", static_cast<std::int64_t>(seed));
+  root.set("workers", workers);
+
+  json::Value axesJson = json::Value::array();
+  for (const TuneAxis& axis : space.axes) {
+    json::Value axisJson = json::Value::object();
+    axisJson.set("key", axis.key);
+    json::Value values = json::Value::array();
+    for (const std::string& value : axis.values)
+      values.push(value);
+    axisJson.set("values", std::move(values));
+    axesJson.push(std::move(axisJson));
+  }
+  json::Value spaceJson = json::Value::object();
+  spaceJson.set("axes", std::move(axesJson));
+  spaceJson.set("size", spaceSize);
+  root.set("space", std::move(spaceJson));
+
+  json::Value objectivesJson = json::Value::array();
+  for (const std::string& name : objectives)
+    objectivesJson.push(name);
+  root.set("objectives", std::move(objectivesJson));
+
+  json::Value stats = json::Value::object();
+  stats.set("evaluated", points.size());
+  stats.set("pruned", prunedCount);
+  stats.set("feasible", feasibleCount);
+  stats.set("cache_hits", cacheHitCount);
+  root.set("stats", std::move(stats));
+
+  json::Value pointsJson = json::Value::array();
+  for (const TunedPoint& point : points) {
+    json::Value pointJson = json::Value::object();
+    json::Value params = json::Value::object();
+    for (const auto& [key, value] : point.params)
+      params.set(key, value);
+    pointJson.set("params", std::move(params));
+    pointJson.set("feasible", point.row.ok());
+    if (!point.row.ok()) {
+      pointJson.set("error", point.row.error);
+    } else {
+      json::Value scores = json::Value::object();
+      for (std::size_t i = 0; i < objectives.size(); ++i)
+        scores.set(objectives[i], point.scores[i]);
+      pointJson.set("scores", std::move(scores));
+      const auto& design = point.row.flow->systemDesign();
+      json::Value system = json::Value::object();
+      system.set("m", design.m);
+      system.set("k", design.k);
+      system.set("bram36", design.total.bram36);
+      system.set("dsp", design.total.dsp);
+      system.set("lut", design.total.lut);
+      system.set("kernel_us", point.row.flow->kernelReport().timeUs());
+      pointJson.set("system", std::move(system));
+    }
+    pointJson.set("pareto", point.onFrontier);
+    pointJson.set("cache_hit", point.row.cacheHit);
+    pointJson.set("compile_ms", point.row.compileMillis);
+    pointsJson.push(std::move(pointJson));
+  }
+  root.set("points", std::move(pointsJson));
+
+  json::Value frontierJson = json::Value::array();
+  for (std::size_t index : frontier)
+    frontierJson.push(index);
+  root.set("frontier", std::move(frontierJson));
+
+  json::Value timing = json::Value::object();
+  timing.set("wall_ms", wallMillis);
+  root.set("timing", std::move(timing));
+  return root;
+}
+
+std::string TuningReport::jsonText() const { return toJson().dump(2) + "\n"; }
+
+} // namespace cfd

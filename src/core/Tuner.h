@@ -1,0 +1,141 @@
+// Auto-tuning search over the design space (DESIGN.md §7).
+//
+// Explorer (DESIGN.md §3) evaluates a *given* list of variants; the
+// Tuner decides *which* variants to evaluate. A TuneSpace declares the
+// parameter axes (named key/value axes mirroring the cfdc sweep keys);
+// a strategy — exhaustive, seeded random sampling, or greedy
+// hill-climb — walks that space, pruning structurally infeasible m/k
+// combinations before any compile; objectives (core/Objective.h) score
+// every feasible row; and the multi-objective Pareto frontier
+// (core/Pareto.h) plus all evaluated points are returned as a
+// TuningReport that serializes to JSON (support/Json.h, DESIGN.md §8).
+//
+// Determinism contract: for a fixed source, space, strategy, seed, and
+// base options, the set of evaluated points, their scores, and the
+// frontier are identical on every run and for every worker count
+// (sampling uses a local SplitMix64 generator, never std::random
+// distributions; Explorer rows land in input order). Only wall-clock
+// fields (compileMillis, wallMillis, cacheHit) vary between runs.
+#pragma once
+
+#include "core/Explorer.h"
+#include "core/Objective.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cfd {
+
+/// One named parameter axis. Keys mirror the cfdc sweep keys:
+/// unroll|m|k|sharing|decoupled|objective|layout. Value order matters:
+/// hill-climb treats adjacent values as neighbors, so list numeric
+/// axes in increasing order.
+struct TuneAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// The declared search space: the cross product of all axes.
+struct TuneSpace {
+  std::vector<TuneAxis> axes;
+
+  /// Cross-product cardinality (1 for an empty space: the base point).
+  std::size_t size() const;
+};
+
+/// The space cfdc --tune searches when no --sweep axes are given:
+/// unroll {1,2,4} x sharing {0,1} x decoupled {0,1} — the paper's §VI
+/// parameters with the largest resource/latency trade-offs.
+TuneSpace defaultTuneSpace();
+
+/// Applies one (key, value) pair to `options`; shared by the Tuner and
+/// the cfdc --sweep/--tune flag parser. Throws FlowError on an unknown
+/// key or a malformed value.
+void applyTuneParam(FlowOptions& options, const std::string& key,
+                    const std::string& value);
+
+/// Checks the m/k constraints that system generation enforces (paper
+/// §V-B: k <= m, m a power-of-two multiple of k) without compiling.
+/// Returns the infeasibility reason, or "" when the point may be
+/// feasible (Eq. 3 resource limits still require a compile to check).
+std::string checkStructuralFeasibility(const FlowOptions& options);
+
+enum class SearchStrategy {
+  Exhaustive, ///< every point of the space
+  Random,     ///< seeded sampling without replacement
+  HillClimb,  ///< greedy axis-neighbor descent on the primary objective
+};
+
+const char* searchStrategyName(SearchStrategy strategy);
+/// Parses exhaustive|random|hillclimb; throws FlowError otherwise.
+SearchStrategy searchStrategyByName(const std::string& name);
+
+struct TunerOptions {
+  SearchStrategy strategy = SearchStrategy::Exhaustive;
+  /// Seed of the Random strategy's sampler (and of any future
+  /// stochastic strategy). Same seed => same evaluated set.
+  std::uint64_t seed = 1;
+  /// Random: number of distinct points to draw (clamped to the space).
+  std::size_t sampleCount = 16;
+  /// HillClimb: maximum number of moves before giving up.
+  std::size_t maxSteps = 32;
+  /// Objectives scoring each feasible point; empty = defaultObjectives().
+  /// HillClimb descends on the first objective; the frontier always
+  /// uses all of them.
+  std::vector<Objective> objectives;
+  /// Options every point starts from (axes overwrite their own fields).
+  FlowOptions base;
+  /// Explorer pass-through.
+  int workers = 0;
+  std::int64_t simulateElements = 0;
+  sim::TransferStrategy transferStrategy = sim::TransferStrategy::Blocking;
+  FlowCache* cache = nullptr;
+};
+
+/// One evaluated point of the space.
+struct TunedPoint {
+  /// The axis assignments of this point, in axis order.
+  std::vector<std::pair<std::string, std::string>> params;
+  ExplorationRow row;         // compile/simulation outcome
+  std::vector<double> scores; // one per objective; empty when !row.ok()
+  bool onFrontier = false;
+
+  /// "unroll=2 sharing=1", or "base" for the empty space.
+  std::string label() const;
+};
+
+struct TuningReport {
+  SearchStrategy strategy = SearchStrategy::Exhaustive;
+  std::uint64_t seed = 0;
+  std::vector<std::string> objectives; // names, in scoring order
+  TuneSpace space;
+
+  std::vector<TunedPoint> points;     // evaluated, deterministic order
+  std::vector<std::size_t> frontier;  // indices into points
+
+  std::size_t spaceSize = 0;   // full cross-product cardinality
+  std::size_t prunedCount = 0; // rejected before compiling
+  std::size_t feasibleCount = 0;
+  std::size_t cacheHitCount = 0; // rows served from the FlowCache
+  int workers = 1;
+  double wallMillis = 0;
+
+  /// The report as a JSON document (schema: DESIGN.md §8). Everything
+  /// except the "timing" object and the per-point "compile_ms" /
+  /// "cache_hit" fields is deterministic for a fixed seed and space.
+  json::Value toJson() const;
+  /// toJson() pretty-printed with a trailing newline.
+  std::string jsonText() const;
+};
+
+/// Runs the configured search over (source x space). Points whose
+/// compile fails (Eq. 3 violations that survive the structural
+/// pre-filter, DSL errors) stay in the report with their error string;
+/// only malformed axes (unknown key/value) throw.
+TuningReport tune(const std::string& source, const TuneSpace& space,
+                  const TunerOptions& options = {});
+
+} // namespace cfd

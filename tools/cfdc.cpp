@@ -1,29 +1,19 @@
 // cfdc — command-line driver for the CFDlang-to-FPGA flow.
 //
-// Usage:
-//   cfdc [options] kernel.cfd
+// Three modes (README.md "Using the CLI" has worked examples):
 //
-// Options:
-//   --emit=c|mnemosyne|host|dot|report   artifact to print (default report)
-//   -o <file>                            write the artifact to a file
-//   --no-sharing                         disable PLM address-space sharing
-//   --coupled                            keep temporaries inside the HLS
-//                                        accelerator (no decoupling)
-//   --m=<n> --k=<n>                      force the replication factors
-//   --unroll=<n>                         innermost unroll / PLM banks
-//   --objective=hw|sw                    rescheduling objective
-//   --layout=rowmajor|colmajor           default tensor layout
-//   --simulate=<Ne>                      simulate Ne elements and report
-//   --validate                           check against Eq. semantics
-//   --sweep=<key>=<v1,v2,...>            sweep a parameter (repeatable;
-//                                        axes combine as a cross product)
-//   --jobs=<n>                           sweep worker threads (0 = auto)
+//  * single-shot: compile one configuration, print/write an artifact
+//    (--emit), optionally --validate and --simulate;
+//  * --sweep: explore the cross product of declared axes in parallel
+//    through the FlowCache and print one row per variant (DESIGN.md §3);
+//  * --tune: search the axes with a strategy (exhaustive, seeded
+//    random, hill-climb), score pluggable objectives, and report the
+//    Pareto frontier as a table and/or a JSON report (DESIGN.md §7-§8).
 //
-// Sweep keys: unroll, m, k, sharing, decoupled, objective, layout.
-// Example — explore unrolling against the memory architecture:
-//   cfdc --sweep=unroll=1,2,4 --sweep=sharing=0,1 --simulate=50000 k.cfd
+// Run `cfdc --help` for the full flag reference.
 #include "core/Explorer.h"
 #include "core/Flow.h"
+#include "core/Tuner.h"
 #include "support/Error.h"
 #include "support/Format.h"
 
@@ -50,7 +40,17 @@ struct CliOptions {
   bool validate = false;
   bool emitExplicit = false;
   std::vector<SweepAxis> sweeps;
+  bool jobsExplicit = false;
   int jobs = 0;
+  bool tune = false;
+  cfd::SearchStrategy strategy = cfd::SearchStrategy::Exhaustive;
+  std::uint64_t seed = 1;
+  std::size_t samples = 16;
+  std::size_t maxSteps = 32;
+  std::vector<std::string> objectiveNames;
+  /// Name of the first --tune-only flag seen, for the without---tune
+  /// diagnostic (these must never be silently ignored).
+  std::string tuneOnlyFlag;
 };
 
 [[noreturn]] void usage(const std::string& error = {}) {
@@ -58,15 +58,46 @@ struct CliOptions {
     std::cerr << "cfdc: " << error << "\n";
   std::cerr <<
       R"(usage: cfdc [options] kernel.cfd
-  --emit=c|mnemosyne|host|dot|report   artifact to print (default: report)
-  -o <file>                            write the artifact to a file
-  --no-sharing --coupled --m=N --k=N --unroll=N
-  --objective=hw|sw --layout=rowmajor|colmajor
-  --simulate=Ne --validate
-  --sweep=key=v1,v2,...                sweep axis (unroll|m|k|sharing|
-                                       decoupled|objective|layout); axes
-                                       cross-multiply
-  --jobs=N                             sweep worker threads (0 = auto)
+
+Single-shot compilation:
+  --emit=c|mnemosyne|host|dot|report   artifact to print (default: report);
+                                       --emit=json is valid with --tune only
+  -o <file>                write the artifact (or the --tune JSON report)
+                           to a file instead of stdout
+  --no-sharing             disable PLM address-space sharing (paper Fig. 5)
+  --coupled                keep temporaries inside the HLS accelerator
+                           (no Mnemosyne decoupling)
+  --m=N                    force the number of PLM units (0 = fit device)
+  --k=N                    force the number of accelerators (0 = equal m)
+  --unroll=N               innermost unroll factor / PLM banks
+  --objective=hw|sw        rescheduling objective (default: hw)
+  --layout=rowmajor|colmajor  default tensor layout (default: rowmajor)
+  --simulate=Ne            simulate Ne elements on the platform model
+  --validate               compare the schedule against the Eq. 1
+                           reference semantics (exit 1 above 1e-8)
+
+Design-space search:
+  --sweep=key=v1,v2,...    declare one axis (repeatable; axes combine as
+                           a cross product). Keys: unroll|m|k|sharing|
+                           decoupled|objective|layout
+  --jobs=N                 worker threads for --sweep/--tune (0 = auto);
+                           an error without one of those modes
+  --tune[=STRATEGY]        search the declared axes (or a default
+                           unroll x sharing x decoupled space when no
+                           --sweep is given) instead of printing every
+                           row. STRATEGY: exhaustive (default) | random
+                           | hillclimb. Prints evaluated points and the
+                           Pareto frontier; deterministic for a fixed
+                           seed and space (DESIGN.md §7)
+  --seed=N                 random-strategy sampling seed (default: 1)
+  --samples=N              random-strategy distinct points (default: 16)
+  --max-steps=N            hill-climb move cap (default: 32)
+  --objectives=a,b,...     scoring objectives, all minimized: latency|
+                           bram|dsp|lut|compile_ms (default: latency,bram)
+
+With --tune, --emit=json prints the JSON report (DESIGN.md §8) on
+stdout and -o writes it to a file; --simulate=Ne makes the latency
+objective include AXI transfer costs.
 )";
   std::exit(error.empty() ? 0 : 2);
 }
@@ -91,6 +122,13 @@ int parseInt(const std::string& value, const std::string& flag) {
   }
 }
 
+int parseNonNegativeInt(const std::string& value, const std::string& flag) {
+  const int parsed = parseInt(value, flag);
+  if (parsed < 0)
+    usage(flag + " expects a non-negative integer (got '" + value + "')");
+  return parsed;
+}
+
 std::vector<std::string> splitCsv(const std::string& csv) {
   std::vector<std::string> parts;
   std::string part;
@@ -101,45 +139,14 @@ std::vector<std::string> splitCsv(const std::string& csv) {
   return parts;
 }
 
-bool parseBool(const std::string& value, const std::string& flag) {
-  if (value == "1" || value == "yes" || value == "true")
-    return true;
-  if (value == "0" || value == "no" || value == "false")
-    return false;
-  usage(flag + " expects 0/1/yes/no/true/false (got '" + value + "')");
-}
-
-/// Applies one sweep axis value to a variant; the key set mirrors the
-/// single-shot flags above.
+/// Applies one key=value to a variant through the shared core parser,
+/// converting FlowError into a CLI usage error.
 void applySweepValue(cfd::FlowOptions& options, const std::string& key,
                      const std::string& value) {
-  if (key == "unroll") {
-    options.hls.unrollFactor = parseInt(value, "--sweep=unroll");
-  } else if (key == "m") {
-    options.system.memories = parseInt(value, "--sweep=m");
-  } else if (key == "k") {
-    options.system.kernels = parseInt(value, "--sweep=k");
-  } else if (key == "sharing") {
-    options.memory.enableSharing = parseBool(value, "--sweep=sharing");
-  } else if (key == "decoupled") {
-    options.memory.decoupled = parseBool(value, "--sweep=decoupled");
-  } else if (key == "objective") {
-    if (value == "sw")
-      options.reschedule.objective = cfd::sched::ScheduleObjective::Software;
-    else if (value == "hw")
-      options.reschedule.objective = cfd::sched::ScheduleObjective::Hardware;
-    else
-      usage("--sweep=objective expects hw|sw (got '" + value + "')");
-  } else if (key == "layout") {
-    if (value == "colmajor")
-      options.layouts.defaultLayout = cfd::sched::LayoutKind::ColumnMajor;
-    else if (value == "rowmajor")
-      options.layouts.defaultLayout = cfd::sched::LayoutKind::RowMajor;
-    else
-      usage("--sweep=layout expects rowmajor|colmajor (got '" + value +
-            "')");
-  } else {
-    usage("unknown sweep key '" + key + "'");
+  try {
+    cfd::applyTuneParam(options, key, value);
+  } catch (const cfd::FlowError& e) {
+    usage(e.what());
   }
 }
 
@@ -184,29 +191,42 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
     } else if (consumeValue(arg, "--unroll=", value)) {
       options.flow.hls.unrollFactor = parseInt(value, "--unroll");
     } else if (consumeValue(arg, "--objective=", value)) {
-      if (value == "hw")
-        options.flow.reschedule.objective =
-            cfd::sched::ScheduleObjective::Hardware;
-      else if (value == "sw")
-        options.flow.reschedule.objective =
-            cfd::sched::ScheduleObjective::Software;
-      else
-        usage("unknown objective '" + value + "'");
+      applySweepValue(options.flow, "objective", value);
     } else if (consumeValue(arg, "--layout=", value)) {
-      if (value == "rowmajor")
-        options.flow.layouts.defaultLayout =
-            cfd::sched::LayoutKind::RowMajor;
-      else if (value == "colmajor")
-        options.flow.layouts.defaultLayout =
-            cfd::sched::LayoutKind::ColumnMajor;
-      else
-        usage("unknown layout '" + value + "'");
+      applySweepValue(options.flow, "layout", value);
     } else if (consumeValue(arg, "--simulate=", value)) {
-      options.simulateElements = std::stoll(value);
+      options.simulateElements = parseNonNegativeInt(value, "--simulate");
     } else if (consumeValue(arg, "--sweep=", value)) {
       options.sweeps.push_back(parseSweepAxis(value));
     } else if (consumeValue(arg, "--jobs=", value)) {
-      options.jobs = parseInt(value, "--jobs");
+      options.jobs = parseNonNegativeInt(value, "--jobs");
+      options.jobsExplicit = true;
+    } else if (arg == "--tune") {
+      options.tune = true;
+    } else if (consumeValue(arg, "--tune=", value)) {
+      options.tune = true;
+      try {
+        options.strategy = cfd::searchStrategyByName(value);
+      } catch (const cfd::FlowError& e) {
+        usage(e.what());
+      }
+    } else if (consumeValue(arg, "--seed=", value)) {
+      options.seed =
+          static_cast<std::uint64_t>(parseNonNegativeInt(value, "--seed"));
+      options.tuneOnlyFlag = "--seed";
+    } else if (consumeValue(arg, "--samples=", value)) {
+      options.samples = static_cast<std::size_t>(
+          parseNonNegativeInt(value, "--samples"));
+      options.tuneOnlyFlag = "--samples";
+    } else if (consumeValue(arg, "--max-steps=", value)) {
+      options.maxSteps = static_cast<std::size_t>(
+          parseNonNegativeInt(value, "--max-steps"));
+      options.tuneOnlyFlag = "--max-steps";
+    } else if (consumeValue(arg, "--objectives=", value)) {
+      options.objectiveNames = splitCsv(value);
+      if (options.objectiveNames.empty())
+        usage("--objectives has no values");
+      options.tuneOnlyFlag = "--objectives";
     } else if (arg == "--validate") {
       options.validate = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -219,12 +239,27 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
   }
   if (options.inputPath.empty())
     usage("no input file");
-  // --sweep replaces the single-shot artifact/validation path; refuse
-  // combinations that would otherwise be silently ignored.
-  if (!options.sweeps.empty() &&
-      (options.emitExplicit || options.validate ||
-       !options.outputPath.empty()))
-    usage("--sweep cannot be combined with --emit, -o, or --validate");
+
+  // Refuse flag combinations that would otherwise be silently ignored.
+  if (options.tune) {
+    if (options.validate)
+      usage("--tune cannot be combined with --validate");
+    if (options.emitExplicit && options.emit != "json")
+      usage("--tune only supports --emit=json (got --emit=" + options.emit +
+            ")");
+  } else {
+    if (!options.tuneOnlyFlag.empty())
+      usage(options.tuneOnlyFlag + " requires --tune");
+    if (options.emitExplicit && options.emit == "json")
+      usage("--emit=json requires --tune");
+    if (!options.sweeps.empty() &&
+        (options.emitExplicit || options.validate ||
+         !options.outputPath.empty()))
+      usage("--sweep cannot be combined with --emit, -o, or --validate");
+    if (options.jobsExplicit && options.sweeps.empty())
+      usage("--jobs only applies to --sweep/--tune (single-shot compiles "
+            "run on one thread)");
+  }
   return options;
 }
 
@@ -274,7 +309,7 @@ int runSweep(const CliOptions& options, const std::string& source) {
             << padLeft("BRAM/PLM", 10) << padLeft("kernel us", 11);
   if (options.simulateElements > 0)
     std::cout << padLeft("total ms", 10) << padLeft("elements/s", 12);
-  std::cout << "\n";
+  std::cout << padLeft("cache", 7) << "\n";
   for (std::size_t i = 0; i < result.rows.size(); ++i) {
     const cfd::ExplorationRow& row = result.rows[i];
     std::cout << "  " << padRight(labels[i], labelWidth);
@@ -295,14 +330,92 @@ int runSweep(const CliOptions& options, const std::string& source) {
       std::cout << padLeft(formatFixed(row.sim.totalTimeUs() / 1e3, 1), 10)
                 << padLeft(formatFixed(elementsPerSecond, 0), 12);
     }
-    std::cout << "\n";
+    std::cout << padLeft(row.cacheHit ? "hit" : "miss", 7) << "\n";
   }
   std::cout << "  " << result.rows.size() << " variants ("
-            << result.feasibleCount() << " feasible) on " << result.workers
+            << result.feasibleCount() << " feasible, "
+            << result.cacheHitCount() << " from cache) on " << result.workers
             << (result.workers == 1 ? " worker in " : " workers in ")
             << formatFixed(result.wallMillis, 1) << " ms; cache "
             << result.cacheStats.hits << " hits / "
             << result.cacheStats.misses << " misses\n";
+  return 0;
+}
+
+int runTune(const CliOptions& options, const std::string& source) {
+  using cfd::formatFixed;
+  using cfd::padLeft;
+  using cfd::padRight;
+
+  cfd::TuneSpace space;
+  if (options.sweeps.empty()) {
+    space = cfd::defaultTuneSpace();
+  } else {
+    for (const SweepAxis& axis : options.sweeps)
+      space.axes.push_back(cfd::TuneAxis{axis.key, axis.values});
+  }
+
+  cfd::TunerOptions tunerOptions;
+  tunerOptions.strategy = options.strategy;
+  tunerOptions.seed = options.seed;
+  tunerOptions.sampleCount = options.samples;
+  tunerOptions.maxSteps = options.maxSteps;
+  tunerOptions.base = options.flow;
+  tunerOptions.workers = options.jobs;
+  tunerOptions.simulateElements = options.simulateElements;
+  for (const std::string& name : options.objectiveNames)
+    tunerOptions.objectives.push_back(cfd::objectiveByName(name));
+
+  const cfd::TuningReport report = cfd::tune(source, space, tunerOptions);
+  const std::string json = report.jsonText();
+
+  if (!options.outputPath.empty()) {
+    std::ofstream out(options.outputPath);
+    if (!out) {
+      std::cerr << "cfdc: cannot write '" << options.outputPath << "'\n";
+      return 1;
+    }
+    out << json;
+  }
+  if (options.emit == "json" && options.emitExplicit) {
+    if (options.outputPath.empty())
+      std::cout << json;
+    return 0;
+  }
+
+  // Human-readable summary: every evaluated point, frontier marked.
+  std::size_t labelWidth = 12;
+  for (const cfd::TunedPoint& point : report.points)
+    labelWidth = std::max(labelWidth, point.label().size() + 2);
+  std::cout << "  " << padRight("point", labelWidth);
+  for (const std::string& name : report.objectives)
+    std::cout << padLeft(name, 12);
+  std::cout << padLeft("pareto", 8) << "\n";
+  for (const cfd::TunedPoint& point : report.points) {
+    std::cout << "  " << padRight(point.label(), labelWidth);
+    if (!point.row.ok()) {
+      std::cout << "infeasible: " << point.row.error << "\n";
+      continue;
+    }
+    for (double score : point.scores)
+      std::cout << padLeft(formatFixed(score, 2), 12);
+    std::cout << padLeft(point.onFrontier ? "*" : "", 8) << "\n";
+  }
+  std::cout << "  strategy " << cfd::searchStrategyName(report.strategy)
+            << " (seed " << report.seed << "): evaluated "
+            << report.points.size() << "/" << report.spaceSize
+            << " points (" << report.prunedCount << " pruned, "
+            << report.feasibleCount << " feasible, " << report.cacheHitCount
+            << " from cache) on " << report.workers
+            << (report.workers == 1 ? " worker in " : " workers in ")
+            << formatFixed(report.wallMillis, 1) << " ms\n";
+  std::cout << "  Pareto frontier: " << report.frontier.size()
+            << (report.frontier.size() == 1 ? " point" : " points");
+  for (std::size_t index : report.frontier)
+    std::cout << "\n    " << report.points[index].label();
+  std::cout << "\n";
+  if (!options.outputPath.empty())
+    std::cout << "  JSON report written to " << options.outputPath << "\n";
   return 0;
 }
 
@@ -331,6 +444,8 @@ int main(int argc, char** argv) {
   source << input.rdbuf();
 
   try {
+    if (options.tune)
+      return runTune(options, source.str());
     if (!options.sweeps.empty())
       return runSweep(options, source.str());
 
