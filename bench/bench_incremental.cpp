@@ -1,0 +1,103 @@
+// Incremental compilation benchmark (DESIGN.md §9).
+//
+// Measures what the stage-graph refactor buys on the workload that
+// dominates real use of this flow: a design-space sweep that varies
+// only a *late* stage's options. The sweep below changes nothing but
+// HlsOptions (clock/II), so under incremental compilation every point
+// after the first resumes from the `hls` stage — parse, lower,
+// schedule, reschedule, liveness, and memory planning all run exactly
+// once and are adopted as shared immutable artifacts by the other
+// points.
+//
+//   cold : stage cache disabled — every point compiles all 8 stages
+//   warm : stage cache enabled  — prefix adopted, hls+sysgen recompiled
+//
+// Both runs use one worker so the speedup is pure prefix reuse, not
+// parallelism; artifacts are asserted identical between the two runs.
+#include "BenchCommon.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+namespace {
+
+std::vector<cfd::FlowOptions> hlsOnlySweep(int points) {
+  // Vary the kernel clock (and II every other point) only: the exact
+  // shape of a frequency-scaling exploration. Neither field is read
+  // before the hls stage, so the whole prefix is reusable.
+  std::vector<cfd::FlowOptions> variants;
+  variants.reserve(points);
+  for (int i = 0; i < points; ++i) {
+    cfd::FlowOptions options;
+    options.hls.clockMHz = 100.0 + i;
+    options.hls.requestedII = 1 + (i % 2);
+    variants.push_back(options);
+  }
+  return variants;
+}
+
+cfd::ExplorationResult runSweep(const std::vector<cfd::FlowOptions>& variants,
+                                bool incremental) {
+  cfd::FlowCache cache;
+  if (!incremental)
+    cache.setStageCache(nullptr);
+  cfd::ExplorerOptions options;
+  options.workers = 1;
+  options.cache = &cache;
+  return cfd::explore(cfd::bench::kInverseHelmholtz, variants, options);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const int points = argc > 1 ? std::atoi(argv[1]) : 200;
+
+  cfd::bench::printHeader("incremental compilation: cold vs warm-prefix "
+                          "HLS-only sweep");
+  std::cout << "  " << points
+            << "-point sweep over HlsOptions.clockMHz/requestedII "
+               "(1 worker)\n\n";
+
+  const std::vector<cfd::FlowOptions> variants = hlsOnlySweep(points);
+  const cfd::ExplorationResult cold = runSweep(variants, false);
+  const cfd::ExplorationResult warm = runSweep(variants, true);
+
+  // The whole point of artifact caching is that it must not change a
+  // single output byte (tests/test_incremental.cpp checks all stages;
+  // this is the sweep-scale smoke version).
+  for (std::size_t i = 0; i < variants.size(); ++i)
+    if (cold.rows[i].flow->systemDesign().str() !=
+        warm.rows[i].flow->systemDesign().str()) {
+      std::cerr << "FAIL: warm artifact differs from cold at point " << i
+                << "\n";
+      return 1;
+    }
+
+  std::map<std::string, int> resumedHistogram;
+  for (const cfd::ExplorationRow& row : warm.rows)
+    ++resumedHistogram[row.resumedFrom];
+
+  const double speedup =
+      warm.wallMillis > 0 ? cold.wallMillis / warm.wallMillis : 0.0;
+  std::cout << "  cold sweep   " << cfd::formatFixed(cold.wallMillis, 1)
+            << " ms (" << cold.stageStats.hits << " stage hits)\n";
+  std::cout << "  warm sweep   " << cfd::formatFixed(warm.wallMillis, 1)
+            << " ms (" << warm.stageStats.hits << " stage hits / "
+            << warm.stageStats.misses << " stage misses, "
+            << warm.stagesAdoptedTotal() << " artifacts adopted)\n";
+  std::cout << "  speedup      " << cfd::formatFixed(speedup, 1)
+            << "x (target >= 5x)\n\n";
+
+  std::cout << "  warm rows resumed from:\n";
+  for (const auto& [stage, count] : resumedHistogram)
+    std::cout << "    " << cfd::padRight(stage, 12) << count << "\n";
+
+  if (speedup < 5.0) {
+    std::cerr << "\nFAIL: warm-prefix speedup below 5x\n";
+    return 1;
+  }
+  std::cout << "\n  OK: warm-prefix sweep is >= 5x faster and "
+               "byte-identical\n";
+  return 0;
+}

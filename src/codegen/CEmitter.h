@@ -12,6 +12,7 @@
 
 #include "sched/Schedule.h"
 
+#include <cstdint>
 #include <string>
 
 namespace cfd::codegen {
@@ -32,6 +33,13 @@ struct CEmitterOptions {
   /// xorshift64* generator and prints every output element (used by the
   /// compile-and-run integration tests).
   bool emitTestMain = false;
+
+  /// Stable 64-bit structural hash (DESIGN.md §9); part of the
+  /// whole-flow cache key (no pipeline stage consumes emitter options —
+  /// emission happens lazily on the Flow facade).
+  std::uint64_t fingerprint() const;
+  friend bool operator==(const CEmitterOptions&,
+                         const CEmitterOptions&) = default;
 };
 
 /// Emits a complete C99 translation unit implementing `schedule`.

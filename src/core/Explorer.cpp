@@ -25,6 +25,13 @@ std::size_t ExplorationResult::cacheHitCount() const {
   return count;
 }
 
+std::int64_t ExplorationResult::stagesAdoptedTotal() const {
+  std::int64_t total = 0;
+  for (const ExplorationRow& row : rows)
+    total += row.stagesAdopted;
+  return total;
+}
+
 namespace {
 
 ExplorationRow runJob(std::size_t index, const ExplorationJob& job,
@@ -39,6 +46,25 @@ ExplorationRow runJob(std::size_t index, const ExplorationJob& job,
     row.compileMillis = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - start)
                             .count();
+    // Cache provenance of this row (cfdc --explain-cache): a full
+    // FlowCache hit reused every stage; otherwise report where the
+    // incremental compile resumed (the first stage that actually ran).
+    if (row.cacheHit) {
+      row.stagesAdopted = kStageCount;
+      row.resumedFrom = "flow-cache";
+    } else {
+      // A flow-cache miss that still ran zero stages (every artifact
+      // adopted — e.g. the Flow entry was evicted while the stage
+      // prefix survived) is "stage-cache", not "flow-cache".
+      row.stagesAdopted = row.flow->pipeline().adoptedStageCount();
+      row.resumedFrom = "stage-cache";
+      for (int i = 0; i < kStageCount; ++i)
+        if (row.flow->pipeline().provenance(static_cast<Stage>(i)) ==
+            StageProvenance::Ran) {
+          row.resumedFrom = stageName(static_cast<Stage>(i));
+          break;
+        }
+    }
     if (options.simulateElements > 0) {
       sim::SimOptions simOptions;
       simOptions.numElements = options.simulateElements;
@@ -95,6 +121,8 @@ ExplorationResult explore(const std::vector<ExplorationJob>& jobs,
                           std::chrono::steady_clock::now() - start)
                           .count();
   result.cacheStats = cache.stats();
+  if (cache.stageCache() != nullptr)
+    result.stageStats = cache.stageCache()->stats();
   return result;
 }
 

@@ -36,6 +36,15 @@ struct ExplorationRow {
   /// compile) instead of being compiled by this row's worker. On a hit
   /// compileMillis is the (near-zero) lookup time, not a compile.
   bool cacheHit = false;
+  /// Stage artifacts adopted from the StageCache instead of being
+  /// recomputed (kStageCount on a full FlowCache hit, 0 on a cold
+  /// compile). Incremental compilation, DESIGN.md §9.
+  int stagesAdopted = 0;
+  /// The first pipeline stage this row's compile actually executed:
+  /// "flow-cache" when the whole Flow was reused, "stage-cache" when a
+  /// recompile adopted all 8 stage artifacts, otherwise a stage name
+  /// ("parse" = cold, "hls" = parse..memory-plan adopted, ...).
+  std::string resumedFrom;
   double compileMillis = 0; // wall time of the compile or cache lookup
   bool simulated = false;
   sim::SimResult sim;      // valid when simulated
@@ -60,10 +69,15 @@ struct ExplorationResult {
   double wallMillis = 0;
   int workers = 1;
   FlowCache::Stats cacheStats; // stats of the cache used, after the sweep
+  /// Stats of the stage cache underneath (zero-valued when the cache
+  /// runs with incremental compilation disabled).
+  StageCache::Stats stageStats;
 
   std::size_t feasibleCount() const;
   /// Rows whose Flow came from the cache rather than a fresh compile.
   std::size_t cacheHitCount() const;
+  /// Stage artifacts adopted across all rows (prefix reuse).
+  std::int64_t stagesAdoptedTotal() const;
 };
 
 /// Explores arbitrary (source, options) jobs.

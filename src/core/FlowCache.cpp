@@ -1,146 +1,15 @@
 #include "core/FlowCache.h"
 
-#include <bit>
+#include "support/Hash.h"
 
 namespace cfd {
 
-namespace {
-
-// FNV-1a, folded field by field so structurally equal options hash
-// equal regardless of padding.
-class Hasher {
-public:
-  void mix(std::uint64_t value) {
-    for (int byte = 0; byte < 8; ++byte) {
-      hash_ ^= (value >> (byte * 8)) & 0xff;
-      hash_ *= 0x100000001b3ull;
-    }
-  }
-  void mix(int value) { mix(static_cast<std::uint64_t>(value)); }
-  void mix(bool value) { mix(static_cast<std::uint64_t>(value)); }
-  void mix(double value) { mix(std::bit_cast<std::uint64_t>(value)); }
-  void mix(const std::string& value) {
-    mix(static_cast<std::uint64_t>(value.size()));
-    for (char c : value) {
-      hash_ ^= static_cast<unsigned char>(c);
-      hash_ *= 0x100000001b3ull;
-    }
-  }
-  template <typename E>
-    requires std::is_enum_v<E>
-  void mix(E value) {
-    mix(static_cast<std::uint64_t>(value));
-  }
-
-  std::uint64_t value() const { return hash_; }
-
-private:
-  std::uint64_t hash_ = 0xcbf29ce484222325ull;
-};
-
-void mixPartition(Hasher& h, const sched::PartitionSpec& spec) {
-  h.mix(spec.kind);
-  h.mix(spec.dim);
-  h.mix(spec.factor);
-}
-
-bool equalPartition(const sched::PartitionSpec& a,
-                    const sched::PartitionSpec& b) {
-  return a.kind == b.kind && a.dim == b.dim && a.factor == b.factor;
-}
-
-} // namespace
-
-std::uint64_t hashValue(const FlowOptions& o) {
-  Hasher h;
-  h.mix(o.lowering.factorization);
-
-  h.mix(o.layouts.defaultLayout);
-  h.mix(static_cast<std::uint64_t>(o.layouts.perTensor.size()));
-  for (const auto& [name, kind] : o.layouts.perTensor) {
-    h.mix(name);
-    h.mix(kind);
-  }
-  h.mix(static_cast<std::uint64_t>(o.layouts.partitions.size()));
-  for (const auto& [name, spec] : o.layouts.partitions) {
-    h.mix(name);
-    mixPartition(h, spec);
-  }
-
-  h.mix(o.reschedule.objective);
-  h.mix(o.reschedule.permuteLoops);
-  h.mix(o.reschedule.reorderStatements);
-
-  h.mix(o.memory.enableSharing);
-  h.mix(o.memory.decoupled);
-  h.mix(o.memory.wordBits);
-  h.mix(o.memory.banks);
-  h.mix(o.memory.packInterfaceCompatible);
-
-  h.mix(o.hls.clockMHz);
-  h.mix(o.hls.requestedII);
-  h.mix(o.hls.unrollFactor);
-
-  h.mix(o.system.memories);
-  h.mix(o.system.kernels);
-  h.mix(o.system.device.lut);
-  h.mix(o.system.device.ff);
-  h.mix(o.system.device.dsp);
-  h.mix(o.system.device.bram36);
-  h.mix(o.system.reservedBram36);
-
-  h.mix(o.emitter.functionName);
-  h.mix(o.emitter.hlsPragmas);
-  h.mix(o.emitter.pipelineII);
-  h.mix(o.emitter.unrollFactor);
-  h.mix(o.emitter.restrictPointers);
-  h.mix(o.emitter.emitTestMain);
-  return h.value();
+std::uint64_t hashValue(const FlowOptions& options) {
+  return flowOptionsFingerprint(options);
 }
 
 bool equalOptions(const FlowOptions& a, const FlowOptions& b) {
-  if (a.lowering.factorization != b.lowering.factorization)
-    return false;
-  if (a.layouts.defaultLayout != b.layouts.defaultLayout ||
-      a.layouts.perTensor != b.layouts.perTensor)
-    return false;
-  if (a.layouts.partitions.size() != b.layouts.partitions.size())
-    return false;
-  for (auto ita = a.layouts.partitions.begin(),
-            itb = b.layouts.partitions.begin();
-       ita != a.layouts.partitions.end(); ++ita, ++itb)
-    if (ita->first != itb->first || !equalPartition(ita->second, itb->second))
-      return false;
-  if (a.reschedule.objective != b.reschedule.objective ||
-      a.reschedule.permuteLoops != b.reschedule.permuteLoops ||
-      a.reschedule.reorderStatements != b.reschedule.reorderStatements)
-    return false;
-  if (a.memory.enableSharing != b.memory.enableSharing ||
-      a.memory.decoupled != b.memory.decoupled ||
-      a.memory.wordBits != b.memory.wordBits ||
-      a.memory.banks != b.memory.banks ||
-      a.memory.packInterfaceCompatible != b.memory.packInterfaceCompatible)
-    return false;
-  if (a.hls.clockMHz != b.hls.clockMHz ||
-      a.hls.requestedII != b.hls.requestedII ||
-      a.hls.unrollFactor != b.hls.unrollFactor)
-    return false;
-  if (a.system.memories != b.system.memories ||
-      a.system.kernels != b.system.kernels ||
-      a.system.device.lut != b.system.device.lut ||
-      a.system.device.ff != b.system.device.ff ||
-      a.system.device.dsp != b.system.device.dsp ||
-      a.system.device.bram36 != b.system.device.bram36 ||
-      a.system.reservedBram36 != b.system.reservedBram36)
-    return false;
-  if (a.emitter.functionName != b.emitter.functionName ||
-      a.emitter.hlsPragmas != b.emitter.hlsPragmas ||
-      a.emitter.pipelineII != b.emitter.pipelineII ||
-      a.emitter.unrollFactor != b.emitter.unrollFactor ||
-      a.emitter.restrictPointers != b.emitter.restrictPointers ||
-      a.emitter.emitTestMain != b.emitter.emitTestMain)
-    return false;
-  return true;
+  return a == b;
 }
 
 std::shared_ptr<const Flow> FlowCache::compile(const std::string& source,
@@ -151,14 +20,15 @@ std::shared_ptr<const Flow> FlowCache::compile(const std::string& source,
   normalizeOptions(options);
   if (cacheHit)
     *cacheHit = false;
-  Hasher keyHasher;
-  keyHasher.mix(source);
+  Fnv1aHasher keyHasher;
+  keyHasher.mix(std::string_view(source));
   keyHasher.mix(hashValue(options));
   const std::uint64_t key = keyHasher.value();
 
   std::shared_future<std::shared_ptr<const Flow>> pending;
   std::promise<std::shared_ptr<const Flow>> promise;
   bool owner = false;
+  StageCache* stageCache = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (const auto bucket = entries_.find(key); bucket != entries_.end())
@@ -171,6 +41,7 @@ std::shared_ptr<const Flow> FlowCache::compile(const std::string& source,
         }
     if (const auto it = inFlight_.find(key); it != inFlight_.end()) {
       ++hits_;
+      ++inFlightJoins_;
       if (cacheHit)
         *cacheHit = true;
       pending = it->second;
@@ -180,6 +51,7 @@ std::shared_ptr<const Flow> FlowCache::compile(const std::string& source,
       pending = promise.get_future().share();
       inFlight_[key] = pending;
     }
+    stageCache = stageCache_;
   }
 
   if (!owner) {
@@ -193,12 +65,16 @@ std::shared_ptr<const Flow> FlowCache::compile(const std::string& source,
       return flow;
     if (cacheHit)
       *cacheHit = false;
-    return std::make_shared<const Flow>(Flow::compile(source, options));
+    return std::make_shared<const Flow>(
+        Flow(std::make_shared<Pipeline>(source, options, stageCache)));
   }
 
   try {
-    auto flow =
-        std::make_shared<const Flow>(Flow::compile(source, options));
+    // Even this whole-flow *miss* compiles incrementally: the pipeline
+    // adopts the longest stage prefix already in the stage cache and
+    // publishes whatever it had to run (DESIGN.md §9).
+    auto flow = std::make_shared<const Flow>(
+        Flow(std::make_shared<Pipeline>(source, options, stageCache)));
     {
       std::lock_guard<std::mutex> lock(mutex_);
       entries_[key].push_back(Entry{source, options, flow});
@@ -224,6 +100,8 @@ FlowCache::Stats FlowCache::stats() const {
   Stats stats;
   stats.hits = hits_;
   stats.misses = misses_;
+  stats.inFlightJoins = inFlightJoins_;
+  stats.evictions = evictions_;
   for (const auto& [key, bucket] : entries_)
     stats.entries += static_cast<std::int64_t>(bucket.size());
   return stats;
@@ -244,12 +122,21 @@ void FlowCache::clear() {
   totalEntries_ = 0;
   hits_ = 0;
   misses_ = 0;
+  inFlightJoins_ = 0;
+  evictions_ = 0;
+  if (stageCache_ == &ownedStageCache_)
+    ownedStageCache_.clear();
 }
 
 void FlowCache::setCapacity(std::size_t capacity) {
   std::lock_guard<std::mutex> lock(mutex_);
   capacity_ = capacity;
   evictOverflowLocked();
+}
+
+void FlowCache::setStageCache(StageCache* cache) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stageCache_ = cache;
 }
 
 void FlowCache::evictOverflowLocked() {
@@ -266,6 +153,7 @@ void FlowCache::evictOverflowLocked() {
     if (bucket->second.empty())
       entries_.erase(bucket);
     --totalEntries_;
+    ++evictions_;
   }
 }
 

@@ -1,4 +1,4 @@
-// Memoized compilation (DESIGN.md §3).
+// Memoized compilation (DESIGN.md §3, §9).
 //
 // Every bench and sweep used to re-run all eight pipeline stages from
 // scratch for configurations it had already compiled. FlowCache keys a
@@ -8,11 +8,19 @@
 //
 // The cache is safe for concurrent use (Explorer workers share one):
 // concurrent requests for the *same* key are deduplicated — one thread
-// compiles while the others wait on the in-flight result — and requests
+// compiles while the others join the in-flight result — and requests
 // for different keys compile in parallel outside the lock.
+//
+// Below the whole-flow map sits a StageCache (StageCache.h): every
+// Pipeline this FlowCache builds adopts the longest cached stage prefix
+// and publishes its own artifacts back, so even a *miss* here only
+// compiles the stages whose options actually changed (incremental
+// compilation, DESIGN.md §9). setStageCache(nullptr) turns that off and
+// restores cold whole-pipeline compiles.
 #pragma once
 
 #include "core/Flow.h"
+#include "core/StageCache.h"
 
 #include <cstdint>
 #include <deque>
@@ -25,8 +33,9 @@
 
 namespace cfd {
 
-/// FNV-1a style structural hash over every field of `options` (after
-/// callers normalize; FlowCache normalizes for you).
+/// Combined structural hash over every field of `options` (after
+/// callers normalize; FlowCache normalizes for you). Equivalent to
+/// flowOptionsFingerprint.
 std::uint64_t hashValue(const FlowOptions& options);
 /// Field-wise equality (no tolerance: clocks/bandwidths compare exactly).
 bool equalOptions(const FlowOptions& a, const FlowOptions& b);
@@ -36,6 +45,10 @@ public:
   struct Stats {
     std::int64_t hits = 0;   // served from cache or an in-flight compile
     std::int64_t misses = 0; // compiled by the requesting thread
+    /// Of `hits`, how many joined a compile that was still in flight
+    /// (thread-dedup) rather than finding a finished entry.
+    std::int64_t inFlightJoins = 0;
+    std::int64_t evictions = 0; // entries dropped by the capacity bound
     std::int64_t entries = 0;
   };
 
@@ -50,6 +63,8 @@ public:
 
   Stats stats() const;
   std::size_t size() const;
+  /// Clears the whole-flow map, the statistics, and (when owned) the
+  /// stage cache underneath.
   void clear();
 
   /// Retained-entry bound (FIFO eviction; 0 = unbounded). Evicted Flows
@@ -58,6 +73,14 @@ public:
   /// iterating many configurations cannot grow without bound.
   void setCapacity(std::size_t capacity);
   static constexpr std::size_t kDefaultCapacity = 256;
+
+  /// The stage-level artifact cache new Pipelines adopt prefixes from;
+  /// null when incremental compilation is disabled. Defaults to a cache
+  /// owned by this FlowCache.
+  StageCache* stageCache() { return stageCache_; }
+  /// Overrides the stage cache (shared across FlowCaches) or disables
+  /// prefix adoption entirely (nullptr).
+  void setStageCache(StageCache* cache);
 
   /// Process-wide cache shared by benches, tools, and KernelHandle.
   static FlowCache& global();
@@ -83,6 +106,11 @@ private:
       inFlight_;
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;
+  std::int64_t inFlightJoins_ = 0;
+  std::int64_t evictions_ = 0;
+
+  StageCache ownedStageCache_;
+  StageCache* stageCache_ = &ownedStageCache_;
 };
 
 } // namespace cfd

@@ -3,62 +3,48 @@
 #include "dsl/Parser.h"
 #include "ir/Transforms.h"
 #include "support/Error.h"
+#include "support/Format.h"
 
-#include <algorithm>
 #include <chrono>
 #include <sstream>
 
 namespace cfd {
 
-void normalizeOptions(FlowOptions& options) {
-  // One clamp site for the unroll/bank/pragma coupling (paper §V-A2):
-  // every PLM buffer must split into as many cyclic banks as the HLS
-  // datapath replicates, and the emitted C must request those ports.
-  options.memory.banks =
-      std::max(options.memory.banks, options.hls.unrollFactor);
-  options.emitter.unrollFactor =
-      std::max(options.emitter.unrollFactor, options.hls.unrollFactor);
-}
-
 namespace {
-
-struct StageDescriptor {
-  const char* name;
-  const char* inputs;
-  const char* outputs;
-};
-
-constexpr StageDescriptor kStages[kStageCount] = {
-    {"parse", "CFDlang source", "checked AST"},
-    {"lower", "AST, LoweringOptions", "tensor IR (pseudo-SSA)"},
-    {"schedule", "tensor IR, LayoutOptions", "reference schedule + layouts"},
-    {"reschedule", "schedule, RescheduleOptions", "Pluto-lite schedule"},
-    {"liveness", "schedule", "live intervals"},
-    {"memory-plan", "liveness, MemoryPlanOptions",
-     "compatibility graph + PLM plan"},
-    {"hls", "schedule, memory plan, HlsOptions", "kernel report"},
-    {"sysgen", "kernel report, memory plan, SystemOptions",
-     "system design"},
-};
 
 int indexOf(Stage stage) { return static_cast<int>(stage); }
 
 } // namespace
 
-const char* stageName(Stage stage) { return kStages[indexOf(stage)].name; }
-const char* stageInputs(Stage stage) {
-  return kStages[indexOf(stage)].inputs;
-}
-const char* stageOutputs(Stage stage) {
-  return kStages[indexOf(stage)].outputs;
-}
-
-Pipeline::Pipeline(std::string source, FlowOptions options)
-    : source_(std::move(source)), options_(std::move(options)) {
+Pipeline::Pipeline(std::string source, FlowOptions options,
+                   StageCache* stageCache)
+    : source_(std::move(source)), options_(std::move(options)),
+      stageCache_(stageCache) {
   normalizeOptions(options_);
+  keys_ = computeStageKeys(source_, options_);
 }
 
-bool Pipeline::hasRun(Stage stage) const { return ran_[indexOf(stage)]; }
+bool Pipeline::hasRun(Stage stage) const { return materialized(stage); }
+
+bool Pipeline::materialized(Stage stage) const {
+  return provenance_[indexOf(stage)] != StageProvenance::NotRun;
+}
+
+StageProvenance Pipeline::provenance(Stage stage) const {
+  return provenance_[indexOf(stage)];
+}
+
+int Pipeline::adoptedStageCount() const {
+  int count = 0;
+  for (StageProvenance provenance : provenance_)
+    if (provenance == StageProvenance::Cached)
+      ++count;
+  return count;
+}
+
+std::uint64_t Pipeline::stageKey(Stage stage) const {
+  return keys_[indexOf(stage)];
+}
 
 double Pipeline::stageMillis(Stage stage) const {
   return millis_[indexOf(stage)];
@@ -72,110 +58,216 @@ double Pipeline::totalMillis() const {
 }
 
 std::string Pipeline::timingReport() const {
+  // Materialized stages only: a stage that never ran contributes no
+  // line (not a misleading 0 ms row), and every line carries its cache
+  // provenance.
   std::ostringstream os;
   for (int i = 0; i < kStageCount; ++i) {
-    if (!ran_[i])
+    const Stage stage = static_cast<Stage>(i);
+    if (!materialized(stage))
       continue;
-    os << "  " << kStages[i].name;
-    for (std::size_t pad = std::string(kStages[i].name).size(); pad < 12;
-         ++pad)
-      os << ' ';
-    os << millis_[i] << " ms  -> " << kStages[i].outputs << "\n";
+    const bool cached = provenance_[i] == StageProvenance::Cached;
+    os << "  " << padRight(stageName(stage), 12)
+       << padRight(cached ? "cached" : "ran", 8);
+    if (cached)
+      os << padLeft("-", 10);
+    else
+      os << padLeft(formatFixed(millis_[i], 3) + " ms", 10);
+    os << "  -> " << stageOutputs(stage) << "\n";
   }
   return os.str();
 }
 
 void Pipeline::require(Stage stage) {
-  // The dependence structure of this flow is a linear chain, so running
-  // "everything up to `stage`" is exactly the declared-input closure.
-  for (int i = 0; i <= indexOf(stage); ++i)
-    if (!ran_[i])
-      runStage(static_cast<Stage>(i));
+  if (materialized(stage))
+    return;
+  if (stageCache_ != nullptr)
+    adoptPrefix(stage);
+  // The dependence closure of every stage is a prefix of the linear
+  // stage order (StageGraph.cpp), so executing the declared graph in
+  // stage order visits dependencies before their consumers.
+  for (int i = 0; i <= indexOf(stage); ++i) {
+    const Stage current = static_cast<Stage>(i);
+    if (materialized(current))
+      continue;
+    runStage(current);
+    if (stageCache_ != nullptr)
+      stageCache_->insert(keys_[i], current, snapshotPrefix(current),
+                          source_, options_);
+  }
+}
+
+void Pipeline::adoptPrefix(Stage goal) {
+  int have = 0;
+  while (have < kStageCount && materialized(static_cast<Stage>(have)))
+    ++have;
+  if (have > indexOf(goal))
+    return;
+  const auto entry =
+      stageCache_->adoptLongestPrefix(keys_, goal, have, source_, options_);
+  if (entry == nullptr)
+    return;
+  // Copy every slot the entry covers that we have not materialized
+  // ourselves; the retained entry pins upstream artifacts (e.g. the
+  // ir::Program a Schedule points into) across cache eviction.
+  adopted_.push_back(entry);
+  for (int i = have; i <= indexOf(entry->stage); ++i) {
+    const Stage stage = static_cast<Stage>(i);
+    switch (stage) {
+    case Stage::Parse:
+      artifacts_.ast = entry->artifacts.ast;
+      break;
+    case Stage::Lower:
+      artifacts_.program = entry->artifacts.program;
+      break;
+    case Stage::Schedule:
+      artifacts_.referenceSchedule = entry->artifacts.referenceSchedule;
+      break;
+    case Stage::Reschedule:
+      artifacts_.schedule = entry->artifacts.schedule;
+      break;
+    case Stage::Liveness:
+      artifacts_.liveness = entry->artifacts.liveness;
+      break;
+    case Stage::MemoryPlan:
+      artifacts_.memory = entry->artifacts.memory;
+      break;
+    case Stage::Hls:
+      artifacts_.kernel = entry->artifacts.kernel;
+      break;
+    case Stage::SysGen:
+      artifacts_.system = entry->artifacts.system;
+      break;
+    }
+    provenance_[i] = StageProvenance::Cached;
+    millis_[i] = 0.0;
+  }
+}
+
+StageArtifacts Pipeline::snapshotPrefix(Stage stage) const {
+  StageArtifacts prefix;
+  const int last = indexOf(stage);
+  if (last >= indexOf(Stage::Parse))
+    prefix.ast = artifacts_.ast;
+  if (last >= indexOf(Stage::Lower))
+    prefix.program = artifacts_.program;
+  if (last >= indexOf(Stage::Schedule))
+    prefix.referenceSchedule = artifacts_.referenceSchedule;
+  if (last >= indexOf(Stage::Reschedule))
+    prefix.schedule = artifacts_.schedule;
+  if (last >= indexOf(Stage::Liveness))
+    prefix.liveness = artifacts_.liveness;
+  if (last >= indexOf(Stage::MemoryPlan))
+    prefix.memory = artifacts_.memory;
+  if (last >= indexOf(Stage::Hls))
+    prefix.kernel = artifacts_.kernel;
+  if (last >= indexOf(Stage::SysGen))
+    prefix.system = artifacts_.system;
+  return prefix;
 }
 
 void Pipeline::runStage(Stage stage) {
   const auto start = std::chrono::steady_clock::now();
   switch (stage) {
   case Stage::Parse:
-    ast_ = dsl::parseAndCheck(source_);
+    artifacts_.ast =
+        std::make_shared<const dsl::Program>(dsl::parseAndCheck(source_));
     break;
-  case Stage::Lower:
+  case Stage::Lower: {
     // Step i: lowering into pseudo-SSA with contraction splitting, then
-    // canonicalization.
-    program_ =
-        std::make_unique<ir::Program>(ir::lower(ast_, options_.lowering));
-    ir::canonicalize(*program_);
+    // canonicalization (before the artifact freezes behind const).
+    ir::Program program = ir::lower(*artifacts_.ast, options_.lowering);
+    ir::canonicalize(program);
+    artifacts_.program =
+        std::make_shared<const ir::Program>(std::move(program));
     break;
+  }
   case Stage::Schedule:
     // Step ii: reference schedule with materialized layouts.
-    schedule_ = sched::buildReferenceSchedule(*program_, options_.layouts);
+    artifacts_.referenceSchedule = std::make_shared<const sched::Schedule>(
+        sched::buildReferenceSchedule(*artifacts_.program,
+                                      options_.layouts));
     break;
-  case Stage::Reschedule:
-    // Step iii: Pluto-lite rescheduling (in place).
-    sched::reschedule(schedule_, options_.reschedule);
+  case Stage::Reschedule: {
+    // Step iii: Pluto-lite rescheduling on a copy, so the reference
+    // schedule artifact stays immutable and shareable.
+    sched::Schedule rescheduled = *artifacts_.referenceSchedule;
+    sched::reschedule(rescheduled, options_.reschedule);
+    artifacts_.schedule =
+        std::make_shared<const sched::Schedule>(std::move(rescheduled));
     break;
+  }
   case Stage::Liveness:
-    liveness_ = mem::analyzeLiveness(schedule_);
+    artifacts_.liveness = std::make_shared<const mem::LivenessInfo>(
+        mem::analyzeLiveness(*artifacts_.schedule));
     break;
-  case Stage::MemoryPlan:
+  case Stage::MemoryPlan: {
     // Step iv: memory compatibility and the Mnemosyne-lite plan. The
     // bank count was already matched to the unroll factor by
     // normalizeOptions.
-    graph_ = mem::buildCompatibilityGraph(schedule_, liveness_);
-    plan_ = mem::planMemory(schedule_, graph_, options_.memory);
+    auto artifact = std::make_shared<MemoryPlanArtifact>();
+    artifact->graph = mem::buildCompatibilityGraph(*artifacts_.schedule,
+                                                   *artifacts_.liveness);
+    artifact->plan = mem::planMemory(*artifacts_.schedule, artifact->graph,
+                                     options_.memory);
+    artifacts_.memory = std::move(artifact);
     break;
+  }
   case Stage::Hls:
-    kernel_ = hls::analyzeKernel(schedule_, plan_, options_.hls);
+    artifacts_.kernel = std::make_shared<const hls::KernelReport>(
+        hls::analyzeKernel(*artifacts_.schedule, artifacts_.memory->plan,
+                           options_.hls));
     break;
   case Stage::SysGen:
-    system_ =
-        sysgen::generateSystem(kernel_, plan_, schedule_, options_.system);
+    artifacts_.system = std::make_shared<const sysgen::SystemDesign>(
+        sysgen::generateSystem(*artifacts_.kernel, artifacts_.memory->plan,
+                               *artifacts_.schedule, options_.system));
     break;
   }
   const auto end = std::chrono::steady_clock::now();
-  ran_[indexOf(stage)] = true;
+  provenance_[indexOf(stage)] = StageProvenance::Ran;
   millis_[indexOf(stage)] =
       std::chrono::duration<double, std::milli>(end - start).count();
 }
 
 const dsl::Program& Pipeline::ast() {
   require(Stage::Parse);
-  return ast_;
+  return *artifacts_.ast;
 }
 
 const ir::Program& Pipeline::program() {
   require(Stage::Lower);
-  return *program_;
+  return *artifacts_.program;
 }
 
 const sched::Schedule& Pipeline::schedule() {
   require(Stage::Reschedule);
-  return schedule_;
+  return *artifacts_.schedule;
 }
 
 const mem::LivenessInfo& Pipeline::liveness() {
   require(Stage::Liveness);
-  return liveness_;
+  return *artifacts_.liveness;
 }
 
 const mem::CompatibilityGraph& Pipeline::compatibilityGraph() {
   require(Stage::MemoryPlan);
-  return graph_;
+  return artifacts_.memory->graph;
 }
 
 const mem::MemoryPlan& Pipeline::memoryPlan() {
   require(Stage::MemoryPlan);
-  return plan_;
+  return artifacts_.memory->plan;
 }
 
 const hls::KernelReport& Pipeline::kernelReport() {
   require(Stage::Hls);
-  return kernel_;
+  return *artifacts_.kernel;
 }
 
 const sysgen::SystemDesign& Pipeline::systemDesign() {
   require(Stage::SysGen);
-  return system_;
+  return *artifacts_.system;
 }
 
 } // namespace cfd

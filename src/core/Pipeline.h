@@ -1,8 +1,8 @@
-// Staged pass pipeline (DESIGN.md §3) — the explicit stage graph behind
-// the Flow facade.
+// Staged pass pipeline (DESIGN.md §3, §9) — executes the declared stage
+// graph of core/StageGraph.h behind the Flow facade.
 //
-// The compilation flow is expressed as eight named stages with declared
-// inputs/outputs:
+// The compilation flow is eight named stages (see StageGraph.h for the
+// full declaration: dependence edges and consumed option subsets):
 //
 //   stage       inputs                      outputs
 //   ---------   -------------------------   --------------------------
@@ -15,79 +15,65 @@
 //   hls         schedule, plan, HlsOptions  kernel report
 //   sysgen      kernel, plan, SystemOpts    system design
 //
-// Stages execute lazily: requesting an artifact runs exactly the prefix
-// of the chain needed to produce it (the dependence structure of this
-// flow is linear), and each stage records its wall-clock time. A fully
-// run Pipeline is immutable and safe to share across threads; a Pipeline
-// that is still executing stages is single-threaded (FlowCache provides
-// the concurrent entry point).
+// Stages execute lazily: requesting an artifact runs exactly the
+// dependence closure needed to produce it. Every artifact lives behind
+// a shared_ptr, and a Pipeline built over a StageCache performs
+// *incremental compilation*: before running anything it adopts the
+// longest cached prefix whose per-stage keys (source + the option
+// fingerprints the prefix consumes) match, records those stages as
+// adopted, and runs only the remainder — publishing each newly computed
+// artifact back into the cache. A fully run Pipeline is immutable and
+// safe to share across threads; a Pipeline that is still executing
+// stages is single-threaded (FlowCache provides the concurrent entry
+// point).
 #pragma once
 
-#include "codegen/CEmitter.h"
-#include "dsl/AST.h"
-#include "hls/HlsModel.h"
-#include "ir/Lowering.h"
-#include "mem/Mnemosyne.h"
-#include "sched/Reschedule.h"
-#include "sysgen/SystemGenerator.h"
+#include "core/StageCache.h"
+#include "core/StageGraph.h"
 
 #include <array>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace cfd {
 
-struct FlowOptions {
-  ir::LoweringOptions lowering;
-  sched::LayoutOptions layouts;
-  sched::RescheduleOptions reschedule; // default: Hardware objective
-  mem::MemoryPlanOptions memory;
-  hls::HlsOptions hls;
-  sysgen::SystemOptions system;
-  codegen::CEmitterOptions emitter;
+/// How a stage's artifact came to be.
+enum class StageProvenance {
+  NotRun, ///< never requested
+  Ran,    ///< computed by this pipeline
+  Cached, ///< adopted from a StageCache prefix
 };
-
-/// Resolves the coupled option fields in one place, so cached and fresh
-/// compiles can never diverge: HLS unrolling demands a matching
-/// multi-bank memory architecture (paper §V-A2) and matching
-/// ARRAY_PARTITION pragmas in the emitted C.
-void normalizeOptions(FlowOptions& options);
-
-/// The named stages of the compilation pipeline, in execution order.
-enum class Stage {
-  Parse,
-  Lower,
-  Schedule,
-  Reschedule,
-  Liveness,
-  MemoryPlan,
-  Hls,
-  SysGen,
-};
-
-inline constexpr int kStageCount = 8;
-
-const char* stageName(Stage stage);
-/// Human-readable declared inputs/outputs of a stage (documentation and
-/// timing reports).
-const char* stageInputs(Stage stage);
-const char* stageOutputs(Stage stage);
 
 class Pipeline {
 public:
-  /// Captures the source and normalized options; runs nothing yet.
-  explicit Pipeline(std::string source, FlowOptions options = {});
+  /// Captures the source and normalized options; runs nothing yet. When
+  /// `stageCache` is non-null, require() adopts cached prefixes from it
+  /// and publishes newly computed artifacts back.
+  explicit Pipeline(std::string source, FlowOptions options = {},
+                    StageCache* stageCache = nullptr);
 
-  /// Runs `stage` and every not-yet-run stage it depends on. Throws
-  /// FlowError on invalid input or infeasible constraints.
+  /// Materializes `stage` and its dependence closure, adopting the
+  /// longest cached prefix first. Throws FlowError on invalid input or
+  /// infeasible constraints.
   void require(Stage stage);
   void runAll() { require(Stage::SysGen); }
 
+  /// True when the stage's artifact is available (ran or adopted).
   bool hasRun(Stage stage) const;
-  /// Wall-clock milliseconds the stage took; 0 if it has not run.
+  StageProvenance provenance(Stage stage) const;
+  /// Number of stage artifacts adopted from the cache (0 on a cold
+  /// compile).
+  int adoptedStageCount() const;
+  /// Incremental cache key of `stage` (DESIGN.md §9 derivation table).
+  std::uint64_t stageKey(Stage stage) const;
+
+  /// Wall-clock milliseconds the stage took; 0 if it has not run or was
+  /// adopted from the cache.
   double stageMillis(Stage stage) const;
   double totalMillis() const;
-  /// One line per executed stage: name, time, declared outputs.
+  /// One line per materialized stage: name, provenance (ran/cached),
+  /// time, declared outputs. Never-run stages are omitted.
   std::string timingReport() const;
 
   const std::string& source() const { return source_; }
@@ -103,22 +89,31 @@ public:
   const hls::KernelReport& kernelReport();
   const sysgen::SystemDesign& systemDesign();
 
+  // ---- Artifact shared_ptrs (for sharing checks and tooling; null
+  // until the producing stage materialized) ----
+  const StageArtifacts& artifacts() const { return artifacts_; }
+
 private:
+  bool materialized(Stage stage) const;
+  void adoptPrefix(Stage goal);
   void runStage(Stage stage);
+  /// The artifact-set prefix up to and including `stage` (for cache
+  /// publication).
+  StageArtifacts snapshotPrefix(Stage stage) const;
 
   std::string source_;
   FlowOptions options_;
-  std::array<bool, kStageCount> ran_{};
+  std::array<std::uint64_t, kStageCount> keys_{};
+  std::array<StageProvenance, kStageCount> provenance_{};
   std::array<double, kStageCount> millis_{};
 
-  dsl::Program ast_;
-  std::unique_ptr<ir::Program> program_;
-  sched::Schedule schedule_;
-  mem::LivenessInfo liveness_;
-  mem::CompatibilityGraph graph_;
-  mem::MemoryPlan plan_;
-  hls::KernelReport kernel_;
-  sysgen::SystemDesign system_;
+  StageCache* stageCache_ = nullptr;
+  /// Entries adopted from the cache: pins every upstream artifact a
+  /// downstream one points into (e.g. Schedule::program) across
+  /// eviction.
+  std::vector<std::shared_ptr<const StageCacheEntry>> adopted_;
+
+  StageArtifacts artifacts_;
 };
 
 } // namespace cfd

@@ -1,0 +1,153 @@
+#include "core/StageCache.h"
+
+namespace cfd {
+
+std::size_t approxArtifactBytes(Stage stage,
+                                const StageArtifacts& artifacts) {
+  // Accounting estimates only: element counts times generous per-node
+  // constants. The bound exists to keep long sweeps from growing without
+  // limit, not to be byte-exact.
+  switch (stage) {
+  case Stage::Parse:
+    if (!artifacts.ast)
+      return 0;
+    return 512 + 256 * (artifacts.ast->types.size() +
+                        artifacts.ast->declarations.size()) +
+           1024 * artifacts.ast->assignments.size();
+  case Stage::Lower:
+    if (!artifacts.program)
+      return 0;
+    return 512 + 256 * artifacts.program->tensors().size() +
+           512 * artifacts.program->operations().size();
+  case Stage::Schedule:
+  case Stage::Reschedule: {
+    const auto& schedule = stage == Stage::Schedule
+                               ? artifacts.referenceSchedule
+                               : artifacts.schedule;
+    if (!schedule)
+      return 0;
+    std::size_t bytes = 512;
+    for (const sched::ScheduledStatement& stmt : schedule->statements)
+      bytes += 256 + 64 * stmt.loops.size() + 256 * (1 + stmt.reads.size());
+    return bytes;
+  }
+  case Stage::Liveness:
+    if (!artifacts.liveness)
+      return 0;
+    return 128 + 64 * artifacts.liveness->intervals.size();
+  case Stage::MemoryPlan:
+    if (!artifacts.memory)
+      return 0;
+    return 512 +
+           256 * artifacts.memory->plan.buffers.size() +
+           16 * artifacts.memory->plan.bufferOf.size() +
+           32 * (artifacts.memory->graph.numAddressSpaceEdges() +
+                 artifacts.memory->graph.numInterfaceEdges());
+  case Stage::Hls:
+    if (!artifacts.kernel)
+      return 0;
+    return 256 + 128 * artifacts.kernel->statements.size();
+  case Stage::SysGen:
+    return artifacts.system ? 1024 : 0;
+  }
+  return 0;
+}
+
+std::shared_ptr<const StageCacheEntry> StageCache::adoptLongestPrefix(
+    const std::array<std::uint64_t, kStageCount>& keys, Stage goal,
+    int skipStages, const std::string& source, const FlowOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (int i = static_cast<int>(goal); i >= skipStages; --i) {
+    const auto it = entries_.find(keys[i]);
+    if (it == entries_.end())
+      continue;
+    const auto& entry = it->second.entry;
+    // Trust the 64-bit key only after full structural verification of
+    // everything the prefix reads (the producing stage, the source, and
+    // the consumed option subsets) — a collision degrades to a
+    // recompile, never a wrong adoption.
+    if (entry->stage != static_cast<Stage>(i) || entry->source != source ||
+        !prefixOptionsEqual(static_cast<Stage>(i), entry->options, options))
+      continue;
+    lruOrder_.splice(lruOrder_.end(), lruOrder_, it->second.lruPosition);
+    hits_ += i + 1 - skipStages;
+    return entry;
+  }
+  return nullptr;
+}
+
+void StageCache::insert(std::uint64_t key, Stage stage,
+                        StageArtifacts artifacts, const std::string& source,
+                        const FlowOptions& options) {
+  auto entry = std::make_shared<StageCacheEntry>();
+  entry->stage = stage;
+  entry->artifacts = std::move(artifacts);
+  entry->source = source;
+  entry->options = options;
+  // Charge the verification payload too (each entry keeps its own
+  // source copy), not just the stage's marginal artifact.
+  entry->approxBytes = approxArtifactBytes(stage, entry->artifacts) +
+                       source.size() + sizeof(StageCacheEntry);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // First writer wins: concurrent compiles of one prefix converge on
+    // the already-published artifact set.
+    lruOrder_.splice(lruOrder_.end(), lruOrder_, it->second.lruPosition);
+    return;
+  }
+  lruOrder_.push_back(key);
+  entries_[key] = Node{std::move(entry), std::prev(lruOrder_.end())};
+  totalBytes_ += entries_[key].entry->approxBytes;
+  evictOverflowLocked();
+}
+
+void StageCache::setCapacityBytes(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacityBytes_ = bytes;
+  evictOverflowLocked();
+}
+
+void StageCache::evictOverflowLocked() {
+  while (capacityBytes_ != 0 && totalBytes_ > capacityBytes_ &&
+         !lruOrder_.empty()) {
+    const std::uint64_t key = lruOrder_.front();
+    lruOrder_.pop_front();
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+      continue;
+    totalBytes_ -= it->second.entry->approxBytes;
+    entries_.erase(it);
+    ++evictions_;
+  }
+}
+
+StageCache::Stats StageCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = static_cast<std::int64_t>(entries_.size());
+  stats.approxBytes = static_cast<std::int64_t>(totalBytes_);
+  return stats;
+}
+
+std::size_t StageCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void StageCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lruOrder_.clear();
+  totalBytes_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+  evictions_ = 0;
+}
+
+} // namespace cfd

@@ -413,12 +413,17 @@ TuningReport tune(const std::string& source, const TuneSpace& space,
                           .count();
 
   report.prunedCount = run.prunedCount();
+  FlowCache& cache = options.cache ? *options.cache : FlowCache::global();
+  report.flowCacheStats = cache.stats();
+  if (cache.stageCache() != nullptr)
+    report.stageCacheStats = cache.stageCache()->stats();
   std::vector<std::size_t> feasibleIndices;
   std::vector<std::vector<double>> feasibleScores;
   for (std::size_t i = 0; i < report.points.size(); ++i) {
     const TunedPoint& point = report.points[i];
     if (point.row.cacheHit)
       ++report.cacheHitCount;
+    report.stagesAdoptedTotal += point.row.stagesAdopted;
     if (!point.row.ok())
       continue;
     ++report.feasibleCount;

@@ -120,6 +120,12 @@ struct TuningReport {
   std::size_t prunedCount = 0; // rejected before compiling
   std::size_t feasibleCount = 0;
   std::size_t cacheHitCount = 0; // rows served from the FlowCache
+  /// Stage artifacts adopted across all evaluated points (incremental
+  /// compilation, DESIGN.md §9). Not serialized to JSON: like the
+  /// timing fields, cache provenance depends on evaluation order.
+  std::int64_t stagesAdoptedTotal = 0;
+  FlowCache::Stats flowCacheStats;   // of the cache used, after the run
+  StageCache::Stats stageCacheStats; // zero-valued when disabled
   int workers = 1;
   double wallMillis = 0;
 

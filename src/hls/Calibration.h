@@ -18,6 +18,9 @@ struct DeviceResources {
   int ff = 460800;
   int dsp = 1728;
   int bram36 = 312;
+
+  friend bool operator==(const DeviceResources&,
+                         const DeviceResources&) = default;
 };
 inline constexpr DeviceResources kZu7ev{};
 

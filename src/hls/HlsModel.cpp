@@ -2,10 +2,20 @@
 
 #include "support/Error.h"
 #include "support/Format.h"
+#include "support/Hash.h"
 
 #include <sstream>
 
 namespace cfd::hls {
+
+std::uint64_t HlsOptions::fingerprint() const {
+  Fnv1aHasher h;
+  h.mix(std::string_view("hls::HlsOptions"));
+  h.mix(clockMHz);
+  h.mix(requestedII);
+  h.mix(unrollFactor);
+  return h.value();
+}
 
 Resources& Resources::operator+=(const Resources& other) {
   lut += other.lut;

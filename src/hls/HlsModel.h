@@ -20,6 +20,7 @@
 #include "mem/Mnemosyne.h"
 #include "sched/Schedule.h"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,11 @@ struct HlsOptions {
   /// `unrollFactor` times and every PLM buffer is split into that many
   /// cyclic banks (mem::MemoryPlanOptions::banks must match).
   int unrollFactor = 1;
+
+  /// Stable 64-bit structural hash (DESIGN.md §9); feeds the per-stage
+  /// cache keys of core/Pipeline.
+  std::uint64_t fingerprint() const;
+  friend bool operator==(const HlsOptions&, const HlsOptions&) = default;
 };
 
 /// Timing of one scheduled statement (plus its init loop if any).

@@ -1,11 +1,19 @@
 #include "ir/Lowering.h"
 
 #include "support/Error.h"
+#include "support/Hash.h"
 
 #include <algorithm>
 #include <optional>
 
 namespace cfd::ir {
+
+std::uint64_t LoweringOptions::fingerprint() const {
+  Fnv1aHasher h;
+  h.mix(std::string_view("ir::LoweringOptions"));
+  h.mix(factorization);
+  return h.value();
+}
 
 namespace {
 

@@ -20,6 +20,8 @@
 #include "dsl/AST.h"
 #include "ir/TensorIR.h"
 
+#include <cstdint>
+
 namespace cfd::ir {
 
 /// Order in which product factors are folded into binary contractions.
@@ -29,6 +31,13 @@ enum class FactorizationOrder { RightToLeft, LeftToRight };
 
 struct LoweringOptions {
   FactorizationOrder factorization = FactorizationOrder::RightToLeft;
+
+  /// Stable 64-bit structural hash (DESIGN.md §9): equal option values
+  /// always produce the same fingerprint, across runs and regardless of
+  /// struct padding. Feeds the per-stage cache keys of core/Pipeline.
+  std::uint64_t fingerprint() const;
+  friend bool operator==(const LoweringOptions&,
+                         const LoweringOptions&) = default;
 };
 
 /// Lowers a semantically checked AST into a verified pseudo-SSA program.

@@ -2,11 +2,23 @@
 
 #include "support/Error.h"
 #include "support/Format.h"
+#include "support/Hash.h"
 
 #include <algorithm>
 #include <sstream>
 
 namespace cfd::mem {
+
+std::uint64_t MemoryPlanOptions::fingerprint() const {
+  Fnv1aHasher h;
+  h.mix(std::string_view("mem::MemoryPlanOptions"));
+  h.mix(enableSharing);
+  h.mix(decoupled);
+  h.mix(wordBits);
+  h.mix(banks);
+  h.mix(packInterfaceCompatible);
+  return h.value();
+}
 
 int MemoryPlan::totalBram36() const {
   int total = 0;

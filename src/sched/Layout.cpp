@@ -1,8 +1,28 @@
 #include "sched/Layout.h"
 
 #include "support/Error.h"
+#include "support/Hash.h"
 
 namespace cfd::sched {
+
+std::uint64_t LayoutOptions::fingerprint() const {
+  Fnv1aHasher h;
+  h.mix(std::string_view("sched::LayoutOptions"));
+  h.mix(defaultLayout);
+  h.mix(static_cast<std::uint64_t>(perTensor.size()));
+  for (const auto& [name, kind] : perTensor) {
+    h.mix(std::string_view(name));
+    h.mix(kind);
+  }
+  h.mix(static_cast<std::uint64_t>(partitions.size()));
+  for (const auto& [name, spec] : partitions) {
+    h.mix(std::string_view(name));
+    h.mix(spec.kind);
+    h.mix(spec.dim);
+    h.mix(spec.factor);
+  }
+  return h.value();
+}
 
 LayoutAssignment LayoutAssignment::materialize(const ir::Program& program,
                                                const LayoutOptions& options) {

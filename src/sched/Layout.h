@@ -10,6 +10,7 @@
 #include "ir/TensorIR.h"
 #include "poly/AffineMap.h"
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -27,12 +28,22 @@ struct PartitionSpec {
   enum class Kind { None, Cyclic, Block } kind = Kind::None;
   int dim = 0;
   int factor = 1;
+
+  friend bool operator==(const PartitionSpec&,
+                         const PartitionSpec&) = default;
 };
 
 struct LayoutOptions {
   LayoutKind defaultLayout = LayoutKind::RowMajor;
   std::map<std::string, LayoutKind> perTensor;
   std::map<std::string, PartitionSpec> partitions;
+
+  /// Stable 64-bit structural hash (DESIGN.md §9): maps are mixed in
+  /// their sorted iteration order, so insertion order never leaks into
+  /// the value. Feeds the per-stage cache keys of core/Pipeline.
+  std::uint64_t fingerprint() const;
+  friend bool operator==(const LayoutOptions&,
+                         const LayoutOptions&) = default;
 };
 
 /// The materialized layout of one tensor.

@@ -1,6 +1,7 @@
 #include "sched/Reschedule.h"
 
 #include "support/Error.h"
+#include "support/Hash.h"
 
 #include <algorithm>
 #include <map>
@@ -8,6 +9,15 @@
 #include <set>
 
 namespace cfd::sched {
+
+std::uint64_t RescheduleOptions::fingerprint() const {
+  Fnv1aHasher h;
+  h.mix(std::string_view("sched::RescheduleOptions"));
+  h.mix(objective);
+  h.mix(permuteLoops);
+  h.mix(reorderStatements);
+  return h.value();
+}
 
 namespace {
 

@@ -19,6 +19,8 @@
 
 #include "sched/Schedule.h"
 
+#include <cstdint>
+
 namespace cfd::sched {
 
 enum class ScheduleObjective {
@@ -30,6 +32,12 @@ struct RescheduleOptions {
   ScheduleObjective objective = ScheduleObjective::Hardware;
   bool permuteLoops = true;
   bool reorderStatements = true;
+
+  /// Stable 64-bit structural hash (DESIGN.md §9); feeds the per-stage
+  /// cache keys of core/Pipeline.
+  std::uint64_t fingerprint() const;
+  friend bool operator==(const RescheduleOptions&,
+                         const RescheduleOptions&) = default;
 };
 
 struct RescheduleStats {

@@ -1,0 +1,51 @@
+// Structural hashing shared by option fingerprints and cache keys
+// (DESIGN.md §9).
+//
+// Fnv1aHasher folds values field by field, so two structurally equal
+// objects hash equal regardless of padding bytes or the order their
+// containers were populated in (ordered containers iterate sorted).
+// Every per-stage options struct derives its stable 64-bit
+// `fingerprint()` from this hasher, and core/Pipeline chains those
+// fingerprints into per-stage cache keys.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+
+namespace cfd {
+
+/// FNV-1a over explicitly mixed fields. Never hash raw struct bytes:
+/// padding would leak into the value and break fingerprint stability.
+class Fnv1aHasher {
+public:
+  void mix(std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ ^= (value >> (byte * 8)) & 0xff;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  void mix(int value) { mix(static_cast<std::uint64_t>(value)); }
+  void mix(bool value) { mix(static_cast<std::uint64_t>(value)); }
+  void mix(double value) { mix(std::bit_cast<std::uint64_t>(value)); }
+  void mix(std::string_view value) {
+    mix(static_cast<std::uint64_t>(value.size()));
+    for (char c : value) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  template <typename E>
+    requires std::is_enum_v<E>
+  void mix(E value) {
+    mix(static_cast<std::uint64_t>(value));
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+} // namespace cfd

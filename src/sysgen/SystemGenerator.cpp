@@ -3,10 +3,24 @@
 #include "mem/Bram.h"
 #include "support/Error.h"
 #include "support/Format.h"
+#include "support/Hash.h"
 
 #include <sstream>
 
 namespace cfd::sysgen {
+
+std::uint64_t SystemOptions::fingerprint() const {
+  Fnv1aHasher h;
+  h.mix(std::string_view("sysgen::SystemOptions"));
+  h.mix(memories);
+  h.mix(kernels);
+  h.mix(device.lut);
+  h.mix(device.ff);
+  h.mix(device.dsp);
+  h.mix(device.bram36);
+  h.mix(reservedBram36);
+  return h.value();
+}
 
 const char* architectureVariantName(ArchitectureVariant variant) {
   switch (variant) {

@@ -16,6 +16,7 @@
 #include "hls/HlsModel.h"
 #include "mem/Mnemosyne.h"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,12 @@ struct SystemOptions {
   hls::DeviceResources device = hls::kZu7ev;
   /// BRAMs reserved for interfaces/DMA buffering (pre-characterized).
   int reservedBram36 = 8;
+
+  /// Stable 64-bit structural hash (DESIGN.md §9); feeds the per-stage
+  /// cache keys of core/Pipeline.
+  std::uint64_t fingerprint() const;
+  friend bool operator==(const SystemOptions&,
+                         const SystemOptions&) = default;
 };
 
 /// One interface array's window in a PLM unit's host address map.

@@ -18,6 +18,7 @@
 #include "support/Format.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -42,6 +43,9 @@ struct CliOptions {
   std::vector<SweepAxis> sweeps;
   bool jobsExplicit = false;
   int jobs = 0;
+  bool explainCache = false;
+  bool stageCacheMbExplicit = false;
+  int stageCacheMb = 0;
   bool tune = false;
   cfd::SearchStrategy strategy = cfd::SearchStrategy::Exhaustive;
   std::uint64_t seed = 1;
@@ -82,6 +86,16 @@ Design-space search:
                            decoupled|objective|layout
   --jobs=N                 worker threads for --sweep/--tune (0 = auto);
                            an error without one of those modes
+  --explain-cache          add a per-row "resumed" column to --sweep/
+                           --tune tables: the first pipeline stage that
+                           actually ran for that point ("flow-cache" =
+                           whole compile reused, "stage-cache" = all
+                           stage artifacts adopted, "parse" = cold). An
+                           error without one of those modes
+  --stage-cache-mb=N       bound the stage-artifact cache behind
+                           incremental compilation to ~N MB (0 =
+                           unbounded; default 64). An error without
+                           --sweep/--tune
   --tune[=STRATEGY]        search the declared axes (or a default
                            unroll x sharing x decoupled space when no
                            --sweep is given) instead of printing every
@@ -201,6 +215,11 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
     } else if (consumeValue(arg, "--jobs=", value)) {
       options.jobs = parseNonNegativeInt(value, "--jobs");
       options.jobsExplicit = true;
+    } else if (arg == "--explain-cache") {
+      options.explainCache = true;
+    } else if (consumeValue(arg, "--stage-cache-mb=", value)) {
+      options.stageCacheMb = parseNonNegativeInt(value, "--stage-cache-mb");
+      options.stageCacheMbExplicit = true;
     } else if (arg == "--tune") {
       options.tune = true;
     } else if (consumeValue(arg, "--tune=", value)) {
@@ -259,6 +278,12 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
     if (options.jobsExplicit && options.sweeps.empty())
       usage("--jobs only applies to --sweep/--tune (single-shot compiles "
             "run on one thread)");
+    if (options.explainCache && options.sweeps.empty())
+      usage("--explain-cache only applies to --sweep/--tune (a single-shot "
+            "compile has no cache to explain)");
+    if (options.stageCacheMbExplicit && options.sweeps.empty())
+      usage("--stage-cache-mb only applies to --sweep/--tune (a "
+            "single-shot compile does not populate the stage cache)");
   }
   return options;
 }
@@ -285,6 +310,33 @@ void buildVariants(const CliOptions& options, std::size_t axisIndex,
   }
 }
 
+/// Applies --stage-cache-mb to the cache the sweep/tune will compile
+/// through (the process-wide FlowCache and its stage cache).
+void applyStageCacheBound(const CliOptions& options) {
+  if (!options.stageCacheMbExplicit)
+    return;
+  if (cfd::StageCache* cache = cfd::FlowCache::global().stageCache())
+    cache->setCapacityBytes(static_cast<std::size_t>(options.stageCacheMb)
+                            << 20);
+}
+
+void printCacheSummary(const cfd::FlowCache::Stats& flow,
+                       const cfd::StageCache::Stats& stage,
+                       std::int64_t stagesAdopted) {
+  std::cout << "  flow cache: " << flow.hits << " hits / " << flow.misses
+            << " misses (" << flow.inFlightJoins << " in-flight joins, "
+            << flow.evictions << " evictions, " << flow.entries
+            << " entries)\n";
+  std::cout << "  stage cache: " << stage.hits << " hits / " << stage.misses
+            << " misses (" << stage.evictions << " evictions, "
+            << stage.entries << " entries, ~"
+            << cfd::formatFixed(
+                   static_cast<double>(stage.approxBytes) / (1024.0 * 1024.0),
+                   2)
+            << " MB); " << stagesAdopted
+            << " stage artifacts adopted across rows\n";
+}
+
 int runSweep(const CliOptions& options, const std::string& source) {
   using cfd::formatFixed;
   using cfd::padLeft;
@@ -294,6 +346,7 @@ int runSweep(const CliOptions& options, const std::string& source) {
   std::vector<std::string> labels;
   buildVariants(options, 0, options.flow, "", variants, labels);
 
+  applyStageCacheBound(options);
   cfd::ExplorerOptions explorerOptions;
   explorerOptions.workers = options.jobs;
   explorerOptions.simulateElements = options.simulateElements;
@@ -309,7 +362,10 @@ int runSweep(const CliOptions& options, const std::string& source) {
             << padLeft("BRAM/PLM", 10) << padLeft("kernel us", 11);
   if (options.simulateElements > 0)
     std::cout << padLeft("total ms", 10) << padLeft("elements/s", 12);
-  std::cout << padLeft("cache", 7) << "\n";
+  std::cout << padLeft("cache", 7);
+  if (options.explainCache)
+    std::cout << padLeft("resumed", 12);
+  std::cout << "\n";
   for (std::size_t i = 0; i < result.rows.size(); ++i) {
     const cfd::ExplorationRow& row = result.rows[i];
     std::cout << "  " << padRight(labels[i], labelWidth);
@@ -330,15 +386,18 @@ int runSweep(const CliOptions& options, const std::string& source) {
       std::cout << padLeft(formatFixed(row.sim.totalTimeUs() / 1e3, 1), 10)
                 << padLeft(formatFixed(elementsPerSecond, 0), 12);
     }
-    std::cout << padLeft(row.cacheHit ? "hit" : "miss", 7) << "\n";
+    std::cout << padLeft(row.cacheHit ? "hit" : "miss", 7);
+    if (options.explainCache)
+      std::cout << padLeft(row.resumedFrom, 12);
+    std::cout << "\n";
   }
   std::cout << "  " << result.rows.size() << " variants ("
             << result.feasibleCount() << " feasible, "
             << result.cacheHitCount() << " from cache) on " << result.workers
             << (result.workers == 1 ? " worker in " : " workers in ")
-            << formatFixed(result.wallMillis, 1) << " ms; cache "
-            << result.cacheStats.hits << " hits / "
-            << result.cacheStats.misses << " misses\n";
+            << formatFixed(result.wallMillis, 1) << " ms\n";
+  printCacheSummary(result.cacheStats, result.stageStats,
+                    result.stagesAdoptedTotal());
   return 0;
 }
 
@@ -355,6 +414,7 @@ int runTune(const CliOptions& options, const std::string& source) {
       space.axes.push_back(cfd::TuneAxis{axis.key, axis.values});
   }
 
+  applyStageCacheBound(options);
   cfd::TunerOptions tunerOptions;
   tunerOptions.strategy = options.strategy;
   tunerOptions.seed = options.seed;
@@ -390,7 +450,10 @@ int runTune(const CliOptions& options, const std::string& source) {
   std::cout << "  " << padRight("point", labelWidth);
   for (const std::string& name : report.objectives)
     std::cout << padLeft(name, 12);
-  std::cout << padLeft("pareto", 8) << "\n";
+  std::cout << padLeft("pareto", 8);
+  if (options.explainCache)
+    std::cout << padLeft("resumed", 12);
+  std::cout << "\n";
   for (const cfd::TunedPoint& point : report.points) {
     std::cout << "  " << padRight(point.label(), labelWidth);
     if (!point.row.ok()) {
@@ -399,7 +462,10 @@ int runTune(const CliOptions& options, const std::string& source) {
     }
     for (double score : point.scores)
       std::cout << padLeft(formatFixed(score, 2), 12);
-    std::cout << padLeft(point.onFrontier ? "*" : "", 8) << "\n";
+    std::cout << padLeft(point.onFrontier ? "*" : "", 8);
+    if (options.explainCache)
+      std::cout << padLeft(point.row.resumedFrom, 12);
+    std::cout << "\n";
   }
   std::cout << "  strategy " << cfd::searchStrategyName(report.strategy)
             << " (seed " << report.seed << "): evaluated "
@@ -409,6 +475,8 @@ int runTune(const CliOptions& options, const std::string& source) {
             << " from cache) on " << report.workers
             << (report.workers == 1 ? " worker in " : " workers in ")
             << formatFixed(report.wallMillis, 1) << " ms\n";
+  printCacheSummary(report.flowCacheStats, report.stageCacheStats,
+                    report.stagesAdoptedTotal);
   std::cout << "  Pareto frontier: " << report.frontier.size()
             << (report.frontier.size() == 1 ? " point" : " points");
   for (std::size_t index : report.frontier)
