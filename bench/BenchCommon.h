@@ -5,10 +5,7 @@
 // records the same numbers).
 #pragma once
 
-#include "core/Explorer.h"
-#include "core/Flow.h"
-#include "core/FlowCache.h"
-#include "core/Tuner.h"
+#include "core/Session.h"
 #include "support/Format.h"
 
 #include <cstdlib>
@@ -40,10 +37,10 @@ inline Flow compileHelmholtz(bool sharing = true, int m = 0, int k = 0) {
   options.memory.enableSharing = sharing;
   options.system.memories = m;
   options.system.kernels = k;
-  // Benches revisit the same configurations constantly; the global
-  // FlowCache makes every repeat an O(hash) lookup. The returned copy
-  // shares the immutable pipeline.
-  return *FlowCache::global().compile(kInverseHelmholtz, options);
+  // Benches revisit the same configurations constantly; the default
+  // session's FlowCache makes every repeat an O(hash) lookup. The
+  // returned copy shares the immutable pipeline.
+  return *Session::global().compileShared(kInverseHelmholtz, options);
 }
 
 inline void printHeader(const std::string& title) {
@@ -58,22 +55,27 @@ inline void printRow(const std::string& label, double paper, double measured,
             << formatFixed(paper != 0 ? measured / paper : 0.0, 3) << "\n";
 }
 
-/// Benches that run an auto-tuning pass (core/Tuner.h) emit the JSON
-/// report (DESIGN.md §8) to the path in $CFD_TUNE_REPORT when it is
-/// set, so CI and plotting scripts can consume bench results without
-/// scraping the printed tables. Returns whether a report was written.
-inline bool maybeWriteTuningReport(const TuningReport& report) {
+/// Benches that produce a JSON report (DESIGN.md §8 conventions) emit
+/// it to the path in $CFD_TUNE_REPORT when it is set, so CI and
+/// plotting scripts can consume bench results without scraping the
+/// printed tables. Returns whether a report was written.
+inline bool maybeWriteJsonReport(const json::Value& report) {
   const char* path = std::getenv("CFD_TUNE_REPORT");
   if (path == nullptr || *path == '\0')
     return false;
   std::ofstream out(path);
   if (!out) {
-    std::cerr << "cannot write tuning report '" << path << "'\n";
+    std::cerr << "cannot write JSON report '" << path << "'\n";
     return false;
   }
-  out << report.jsonText();
-  std::cout << "  (JSON tuning report written to " << path << ")\n";
+  out << report.dump(2) << "\n";
+  std::cout << "  (JSON report written to " << path << ")\n";
   return true;
+}
+
+/// The auto-tuning flavor of maybeWriteJsonReport (PR 2 schema).
+inline bool maybeWriteTuningReport(const TuningReport& report) {
+  return maybeWriteJsonReport(report.toJson());
 }
 
 inline void printCountRow(const std::string& label, std::int64_t paper,

@@ -16,6 +16,8 @@
 // parallelism; artifacts are asserted identical between the two runs.
 #include "BenchCommon.h"
 
+#include "core/Session.h"
+
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -39,13 +41,13 @@ std::vector<cfd::FlowOptions> hlsOnlySweep(int points) {
 
 cfd::ExplorationResult runSweep(const std::vector<cfd::FlowOptions>& variants,
                                 bool incremental) {
-  cfd::FlowCache cache;
+  cfd::Session session;
   if (!incremental)
-    cache.setStageCache(nullptr);
+    session.flowCache().setStageCache(nullptr);
   cfd::ExplorerOptions options;
   options.workers = 1;
-  options.cache = &cache;
-  return cfd::explore(cfd::bench::kInverseHelmholtz, variants, options);
+  return cfd::explore(session, cfd::bench::kInverseHelmholtz, variants,
+                      options);
 }
 
 } // namespace

@@ -1,0 +1,121 @@
+// Session reuse: N one-shot (cfdc-style) cold sessions vs one warm
+// session serving the same N mixed compile/sweep requests
+// (DESIGN.md §10).
+//
+// Every cold iteration constructs a fresh cfd::Session — its own
+// FlowCache/StageCache and (never-started) worker pool — which is
+// exactly what N separate cfdc invocations cost. The warm pass routes
+// all N requests through one long-lived session, so repeated
+// configurations hit the flow cache and option variants resume from
+// the shared stage prefix.
+//
+//   $ ./bench_session_reuse [requests]
+//
+// $CFD_TUNE_REPORT captures the measurements as a JSON report
+// (schema cfd-session-reuse-v1, DESIGN.md §8 conventions).
+#include "BenchCommon.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// One request of the mixed workload: every 6th request is a small
+/// unroll sweep, the rest are single compiles cycling through 4 HLS
+/// clock configurations (so a shared cache sees repeats).
+bool serveRequest(cfd::Session& session, int index) {
+  if (index % 6 == 5) {
+    const auto swept = session.sweep(
+        cfd::SweepRequest(cfd::bench::kInverseHelmholtz)
+            .axis("unroll", {"1", "2"})
+            .workers(1));
+    return swept.ok() && swept->exploration.feasibleCount() == 2;
+  }
+  cfd::FlowOptions options;
+  options.hls.clockMHz = 100.0 + 25.0 * (index % 4);
+  const auto compiled = session.compile(
+      cfd::CompileRequest(cfd::bench::kInverseHelmholtz).options(options));
+  return compiled.ok();
+}
+
+double millisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const int requests = argc > 1 ? std::atoi(argv[1]) : 24;
+
+  cfd::bench::printHeader(
+      "session reuse: per-request cold sessions vs one warm session");
+  std::cout << "  " << requests
+            << " mixed requests (5:1 compile:sweep, 4 distinct compile "
+               "configurations)\n\n";
+
+  // Cold: a fresh session per request, as N independent cfdc runs.
+  const auto coldStart = std::chrono::steady_clock::now();
+  int coldOk = 0;
+  for (int i = 0; i < requests; ++i) {
+    cfd::Session session;
+    coldOk += serveRequest(session, i) ? 1 : 0;
+  }
+  const double coldMs = millisSince(coldStart);
+
+  // Warm: one long-lived session serves the same workload.
+  cfd::Session session;
+  const auto warmStart = std::chrono::steady_clock::now();
+  int warmOk = 0;
+  for (int i = 0; i < requests; ++i)
+    warmOk += serveRequest(session, i) ? 1 : 0;
+  const double warmMs = millisSince(warmStart);
+
+  if (coldOk != requests || warmOk != requests) {
+    std::cerr << "request failures: cold " << (requests - coldOk)
+              << ", warm " << (requests - warmOk) << "\n";
+    return 1;
+  }
+
+  const double speedup = warmMs > 0.0 ? coldMs / warmMs : 0.0;
+  const cfd::Session::Stats stats = session.stats();
+  std::cout << "  cold sessions   " << cfd::padLeft(
+                   cfd::formatFixed(coldMs, 1), 9) << " ms\n";
+  std::cout << "  warm session    " << cfd::padLeft(
+                   cfd::formatFixed(warmMs, 1), 9) << " ms\n";
+  std::cout << "  speedup         " << cfd::padLeft(
+                   cfd::formatFixed(speedup, 1), 9) << " x\n\n";
+  std::cout << session.statsReport();
+
+  cfd::json::Value report = cfd::json::Value::object();
+  report.set("schema", "cfd-session-reuse-v1");
+  report.set("requests", requests);
+  cfd::json::Value timing = cfd::json::Value::object();
+  timing.set("cold_ms", coldMs);
+  timing.set("warm_ms", warmMs);
+  timing.set("speedup", speedup);
+  report.set("timing", std::move(timing));
+  cfd::json::Value cache = cfd::json::Value::object();
+  cache.set("flow_hits", stats.flowCache.hits);
+  cache.set("flow_misses", stats.flowCache.misses);
+  cache.set("stage_hits", stats.stageCache.hits);
+  cache.set("stage_misses", stats.stageCache.misses);
+  cache.set("stage_evictions", stats.stageCache.evictions);
+  report.set("cache", std::move(cache));
+  cfd::json::Value counters = cfd::json::Value::object();
+  counters.set("compile_requests", stats.compileRequests);
+  counters.set("sweep_requests", stats.sweepRequests);
+  counters.set("failed_requests", stats.failedRequests);
+  report.set("session", std::move(counters));
+  cfd::bench::maybeWriteJsonReport(report);
+
+  // The warm session must have seen real sharing, or the bench is
+  // measuring nothing: 4 distinct compile configurations over
+  // `requests` compile requests means everything after the first 4 is
+  // a flow-cache hit.
+  return stats.flowCache.hits > 0 ? 0 : 1;
+}

@@ -17,6 +17,7 @@
 //
 //   $ ./design_space [tuning-report.json]
 #include "core/Explorer.h"
+#include "core/Session.h"
 #include "core/Tuner.h"
 #include "support/Format.h"
 
@@ -96,10 +97,9 @@ void runTuningPass(const std::string& reportPath) {
 
   cfd::TunerOptions tunerOptions;
   tunerOptions.simulateElements = 50000;
-  cfd::FlowCache tuneCache;
-  tunerOptions.cache = &tuneCache;
+  cfd::Session tuneSession;
   const cfd::TuningReport report =
-      cfd::tune(helmholtzSource(11), space, tunerOptions);
+      cfd::tune(tuneSession, helmholtzSource(11), space, tunerOptions);
 
   std::cout << "\nAuto-tuned unroll x sharing (objectives: latency, "
                "BRAM):\n";
@@ -140,12 +140,12 @@ int main(int argc, char** argv) {
 
   const std::vector<SweepPoint> points = buildSweepPoints();
   const std::vector<cfd::ExplorationJob> jobs = buildJobs(points);
-  cfd::FlowCache cache;
+  cfd::Session session;
   cfd::ExplorerOptions explorerOptions;
   explorerOptions.simulateElements = 50000;
-  explorerOptions.cache = &cache;
 
-  const cfd::ExplorationResult cold = cfd::explore(jobs, explorerOptions);
+  const cfd::ExplorationResult cold =
+      cfd::explore(session, jobs, explorerOptions);
   for (const cfd::ExplorationRow& row : cold.rows) {
     const int n = points[row.index].n;
     const bool sharing = points[row.index].sharing;
@@ -174,8 +174,9 @@ int main(int argc, char** argv) {
   // Quantify the pipeline win: eager sequential recompiles vs the
   // parallel cold sweep vs re-querying the sweep with a warm cache.
   const double eagerMs = sequentialEagerMillis(jobs);
-  const cfd::ExplorationResult warm = cfd::explore(jobs, explorerOptions);
-  const auto stats = cache.stats();
+  const cfd::ExplorationResult warm =
+      cfd::explore(session, jobs, explorerOptions);
+  const auto stats = session.flowCache().stats();
   const std::string coldLabel = "Explorer, cold cache (" +
                                 std::to_string(cold.workers) +
                                 (cold.workers == 1 ? " worker)" : " workers)");

@@ -1,8 +1,18 @@
 // Quickstart: compile the paper's Fig. 1 Inverse Helmholtz kernel all the
-// way to a simulated FPGA system in a dozen lines.
+// way to a simulated FPGA system through the Session service API
+// (DESIGN.md §10).
+//
+// A Session is the object an embedding application keeps alive: it owns
+// the compile caches and worker pool, and its request/result API
+// returns Expected values carrying structured diagnostics instead of
+// throwing. The legacy one-liner
+//
+//   const cfd::Flow flow = cfd::Flow::compile(source);  // throws
+//
+// remains as the hermetic "simple path" for one-off compiles.
 //
 //   $ ./quickstart
-#include "core/Flow.h"
+#include "core/Session.h"
 
 #include <iostream>
 
@@ -19,28 +29,46 @@ r = D * t
 v = S # S # S # r . [[0 6] [2 7] [4 8]]
 )";
 
+  cfd::Session session;
+
+  // One request runs the whole pipeline: DSL -> IR -> schedule ->
+  // layouts -> liveness/compatibility -> memory plan -> HLS -> system.
+  const cfd::Expected<cfd::CompileResult> result = session.compile(
+      cfd::CompileRequest(source)
+          .materialize(cfd::Artifacts::KernelPrototype));
+  if (!result) {
+    // Structured failure: severity, pipeline stage, source location.
+    for (const cfd::Diagnostic& diagnostic : result.diagnostics())
+      std::cerr << "flow error: " << diagnostic.str() << "\n";
+    return 1;
+  }
+  const cfd::Flow& flow = result->flow();
+
+  std::cout << "Kernel prototype (paper Fig. 6):\n  "
+            << result->kernelPrototype() << "\n\n";
+  std::cout << "HLS report:\n" << flow.kernelReport().str() << "\n";
+  std::cout << "Memory plan:\n"
+            << flow.memoryPlan().str(flow.program()) << "\n";
+  std::cout << flow.systemDesign().str() << "\n";
+
+  // Post-compile execution paths still throw (they are Flow methods,
+  // not session requests), so keep them guarded.
   try {
-    // One call runs the whole pipeline: DSL -> IR -> schedule -> layouts
-    // -> liveness/compatibility -> memory plan -> HLS -> system.
-    const cfd::Flow flow = cfd::Flow::compile(source);
-
-    std::cout << "Kernel prototype (paper Fig. 6):\n  "
-              << flow.kernelPrototype() << "\n\n";
-    std::cout << "HLS report:\n" << flow.kernelReport().str() << "\n";
-    std::cout << "Memory plan:\n"
-              << flow.memoryPlan().str(flow.program()) << "\n";
-    std::cout << flow.systemDesign().str() << "\n";
-
     // Functional check against the direct Eq. 1a-1c semantics.
     std::cout << "validation max |error| = " << flow.validate() << "\n\n";
 
     // Simulate the paper's prototypical run: 50,000 elements.
-    const cfd::sim::SimResult result =
+    const cfd::sim::SimResult simulated =
         flow.simulate({.numElements = 50000});
-    std::cout << "Simulated CFD run:\n" << result.str();
+    std::cout << "Simulated CFD run:\n" << simulated.str();
   } catch (const cfd::FlowError& e) {
     std::cerr << "flow error: " << e.what() << "\n";
     return 1;
   }
+
+  // A repeated request is served from the session cache.
+  const auto again = session.compile(cfd::CompileRequest(source));
+  std::cout << "\nrecompile cache hit: "
+            << (again.ok() && again->cacheHit() ? "yes" : "no") << "\n";
   return 0;
 }

@@ -1,24 +1,46 @@
 #include "api/KernelHandle.h"
 
-#include "core/FlowCache.h"
+#include "core/Session.h"
 #include "support/Error.h"
 
 namespace cfd::api {
 
 ArgumentPack& ArgumentPack::bind(const std::string& name,
                                  std::span<double> data) {
+  // Last bind wins: evict any const binding so the name lives in
+  // exactly one table (a stale const entry would shadow this one in
+  // inputBuffer()).
+  constBuffers_.erase(name);
   mutableBuffers_[name] = data;
   return *this;
 }
 
 ArgumentPack& ArgumentPack::bind(const std::string& name,
                                  std::span<const double> data) {
+  mutableBuffers_.erase(name);
   constBuffers_[name] = data;
   return *this;
 }
 
 bool ArgumentPack::has(const std::string& name) const {
   return mutableBuffers_.count(name) != 0 || constBuffers_.count(name) != 0;
+}
+
+std::vector<std::string> ArgumentPack::names() const {
+  // The two maps are disjoint (bind() guarantees it) and each is
+  // sorted; merge keeps the result sorted without re-sorting.
+  std::vector<std::string> names;
+  names.reserve(mutableBuffers_.size() + constBuffers_.size());
+  auto m = mutableBuffers_.begin();
+  auto c = constBuffers_.begin();
+  while (m != mutableBuffers_.end() || c != constBuffers_.end()) {
+    if (c == constBuffers_.end() ||
+        (m != mutableBuffers_.end() && m->first < c->first))
+      names.push_back((m++)->first);
+    else
+      names.push_back((c++)->first);
+  }
+  return names;
 }
 
 std::span<double> ArgumentPack::outputBuffer(const std::string& name) const {
@@ -42,10 +64,11 @@ ArgumentPack::inputBuffer(const std::string& name) const {
 KernelHandle KernelHandle::create(const std::string& source, Engine engine,
                                   FlowOptions options) {
   KernelHandle handle;
-  // Handles for the same kernel/configuration share one compiled Flow:
-  // an application creating many handles (one per OpenMP thread, say)
-  // pays for one pipeline run.
-  handle.flow_ = FlowCache::global().compile(source, options);
+  // Thin shim over the implicit default session (DESIGN.md §10):
+  // handles for the same kernel/configuration share one compiled Flow
+  // through the session cache, so an application creating many handles
+  // (one per OpenMP thread, say) pays for one pipeline run.
+  handle.flow_ = Session::global().compileShared(source, options);
   handle.engine_ = engine;
   if (engine == Engine::SimulatedFpga)
     handle.system_ = std::make_unique<rtl::SystemModel>(*handle.flow_);

@@ -24,6 +24,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 namespace cfd::api {
 
@@ -34,9 +35,16 @@ enum class Engine {
 
 /// A bound argument set for one kernel invocation: raw row-major host
 /// buffers keyed by CFDlang variable name.
+///
+/// Rebinding a name replaces the previous binding deterministically —
+/// last bind wins, regardless of whether either binding was const or
+/// mutable (a name is bound in exactly one of the two tables at any
+/// time, so a mutable binding can never be shadowed by a stale const
+/// one or vice versa).
 class ArgumentPack {
 public:
-  /// Binds `data` (row-major, caller-owned) to variable `name`.
+  /// Binds `data` (row-major, caller-owned) to variable `name`,
+  /// replacing any previous binding of that name.
   ArgumentPack& bind(const std::string& name, std::span<double> data);
   ArgumentPack& bind(const std::string& name,
                      std::span<const double> data);
@@ -44,6 +52,8 @@ public:
   std::span<double> outputBuffer(const std::string& name) const;
   std::span<const double> inputBuffer(const std::string& name) const;
   bool has(const std::string& name) const;
+  /// All bound names, sorted, each exactly once.
+  std::vector<std::string> names() const;
 
 private:
   std::map<std::string, std::span<double>> mutableBuffers_;

@@ -1,11 +1,10 @@
 #include "core/Explorer.h"
 
+#include "core/Session.h"
 #include "support/Error.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <thread>
 
 namespace cfd {
 
@@ -84,38 +83,30 @@ ExplorationRow runJob(std::size_t index, const ExplorationJob& job,
 
 } // namespace
 
-ExplorationResult explore(const std::vector<ExplorationJob>& jobs,
+ExplorationResult explore(Session& session,
+                          const std::vector<ExplorationJob>& jobs,
                           const ExplorerOptions& options) {
   ExplorationResult result;
   result.rows.resize(jobs.size());
-  FlowCache& cache = options.cache ? *options.cache : FlowCache::global();
+  // Borrowed, session-owned state (DESIGN.md §10): Explorer spins up
+  // no threads and builds no caches of its own.
+  FlowCache& cache = session.flowCache();
+  WorkerPool& pool = session.workerPool();
 
-  int workers = options.workers;
-  if (workers <= 0)
-    workers = static_cast<int>(std::thread::hardware_concurrency());
-  if (workers <= 0)
-    workers = 1;
+  int workers = pool.threadCount();
+  if (options.workers > 0)
+    workers = std::min(workers, options.workers);
   workers = std::min<int>(workers, static_cast<int>(jobs.size()));
   workers = std::max(workers, 1);
   result.workers = workers;
 
   const auto start = std::chrono::steady_clock::now();
   if (!jobs.empty()) {
-    // Work-stealing over an atomic cursor: rows land at their job index,
-    // so the result order never depends on scheduling.
-    std::atomic<std::size_t> next{0};
-    const auto worker = [&] {
-      for (std::size_t i = next.fetch_add(1); i < jobs.size();
-           i = next.fetch_add(1))
-        result.rows[i] = runJob(i, jobs[i], options, cache);
-    };
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(workers) - 1);
-    for (int t = 1; t < workers; ++t)
-      threads.emplace_back(worker);
-    worker();
-    for (std::thread& thread : threads)
-      thread.join();
+    // Work-stealing over the pool's atomic cursor: rows land at their
+    // job index, so the result order never depends on scheduling.
+    pool.parallelFor(jobs.size(), workers, [&](std::size_t i) {
+      result.rows[i] = runJob(i, jobs[i], options, cache);
+    });
   }
   result.wallMillis = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
@@ -126,14 +117,25 @@ ExplorationResult explore(const std::vector<ExplorationJob>& jobs,
   return result;
 }
 
-ExplorationResult explore(const std::string& source,
+ExplorationResult explore(Session& session, const std::string& source,
                           const std::vector<FlowOptions>& variants,
                           const ExplorerOptions& options) {
   std::vector<ExplorationJob> jobs;
   jobs.reserve(variants.size());
   for (const FlowOptions& variant : variants)
     jobs.push_back(ExplorationJob{source, variant});
-  return explore(jobs, options);
+  return explore(session, jobs, options);
+}
+
+ExplorationResult explore(const std::vector<ExplorationJob>& jobs,
+                          const ExplorerOptions& options) {
+  return explore(Session::global(), jobs, options);
+}
+
+ExplorationResult explore(const std::string& source,
+                          const std::vector<FlowOptions>& variants,
+                          const ExplorerOptions& options) {
+  return explore(Session::global(), source, variants, options);
 }
 
 } // namespace cfd

@@ -1,12 +1,16 @@
-// Parallel design-space exploration (DESIGN.md §3).
+// Parallel design-space exploration (DESIGN.md §3, §10).
 //
 // The paper's headline claim is that the DSL flow "simplifies the
 // exploration of parameters and constraints". Explorer is the batch
 // driver for that: it fans a vector of FlowOptions variants (or whole
-// source/options jobs) across std::thread workers, compiles each variant
-// through a shared FlowCache, optionally runs the platform simulation,
-// and collects one row per variant in input order — so results are
-// deterministic and independent of the worker count.
+// source/options jobs) across a Session's worker pool, compiles each
+// variant through that session's FlowCache, optionally runs the
+// platform simulation, and collects one row per variant in input order
+// — so results are deterministic and independent of the worker count.
+//
+// Explorer owns neither caches nor threads (DESIGN.md §10): both come
+// from the Session passed in. The overloads without a Session borrow
+// Session::global().
 //
 // Infeasible variants (e.g. an m/k pair violating Eq. 3) do not abort
 // the sweep: their row carries the FlowError message instead of a Flow.
@@ -20,6 +24,8 @@
 #include <vector>
 
 namespace cfd {
+
+class Session;
 
 /// One point of the design space: a kernel source plus a configuration.
 struct ExplorationJob {
@@ -53,15 +59,13 @@ struct ExplorationRow {
 };
 
 struct ExplorerOptions {
-  /// Worker threads; 0 = std::thread::hardware_concurrency (at least 1,
-  /// never more than the number of jobs).
+  /// Per-call parallelism cap, including the calling thread; 0 = the
+  /// session's pool size (never more than the number of jobs).
   int workers = 0;
   /// When > 0, run the platform simulation with this many elements for
   /// every feasible variant.
   std::int64_t simulateElements = 0;
   sim::TransferStrategy transferStrategy = sim::TransferStrategy::Blocking;
-  /// Compile cache shared by the workers; null = FlowCache::global().
-  FlowCache* cache = nullptr;
 };
 
 struct ExplorationResult {
@@ -80,11 +84,25 @@ struct ExplorationResult {
   std::int64_t stagesAdoptedTotal() const;
 };
 
-/// Explores arbitrary (source, options) jobs.
-ExplorationResult explore(const std::vector<ExplorationJob>& jobs,
+/// Explores arbitrary (source, options) jobs through `session`'s cache
+/// and worker pool.
+ExplorationResult explore(Session& session,
+                          const std::vector<ExplorationJob>& jobs,
                           const ExplorerOptions& options = {});
 
 /// Explores option variants of a single kernel source.
+ExplorationResult explore(Session& session, const std::string& source,
+                          const std::vector<FlowOptions>& variants,
+                          const ExplorerOptions& options = {});
+
+/// Convenience shims over Session::global(). Note the semantics change
+/// from the pre-Session API: `options.workers` is a cap on the global
+/// session's pool (sized to hardware concurrency), not a spawn count —
+/// a request above the pool size no longer oversubscribes the machine.
+/// Construct a Session with explicit SessionOptions::workers to get a
+/// larger pool.
+ExplorationResult explore(const std::vector<ExplorationJob>& jobs,
+                          const ExplorerOptions& options = {});
 ExplorationResult explore(const std::string& source,
                           const std::vector<FlowOptions>& variants,
                           const ExplorerOptions& options = {});

@@ -1,5 +1,6 @@
 #include "core/Flow.h"
 
+#include "core/Session.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -17,7 +18,10 @@ Flow::Flow(std::shared_ptr<Pipeline> pipeline)
 }
 
 Flow Flow::compile(const std::string& source, FlowOptions options) {
-  return Flow(std::make_shared<Pipeline>(source, std::move(options)));
+  // Thin shim over the implicit default session (DESIGN.md §10): the
+  // hermetic, uncached, still-throwing "simple path". Use a Session
+  // directly for cached compiles and structured diagnostics.
+  return Session::global().compileFlow(source, std::move(options));
 }
 
 std::string Flow::cCode() const {

@@ -11,8 +11,11 @@
 // Flow is a thin facade over the staged pass pipeline (core/Pipeline.h):
 // compile() runs every stage eagerly, so a Flow value is immutable and
 // cheap to copy (copies share the underlying pipeline) and is safe to
-// read from many threads. Use Pipeline directly for lazy, stage-at-a-time
-// execution, FlowCache for memoized compiles, and Explorer for parallel
+// read from many threads. Flow::compile is the "simple path" — a
+// hermetic, uncached shim over the implicit default Session
+// (core/Session.h, DESIGN.md §10); embed a Session for shared caches,
+// pooled workers, and structured diagnostics. Use Pipeline directly for
+// lazy, stage-at-a-time execution and Explorer for parallel
 // design-space sweeps.
 //
 // Pipeline stages (each result stays inspectable on the Flow object):

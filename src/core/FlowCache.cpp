@@ -157,9 +157,4 @@ void FlowCache::evictOverflowLocked() {
   }
 }
 
-FlowCache& FlowCache::global() {
-  static FlowCache cache;
-  return cache;
-}
-
 } // namespace cfd

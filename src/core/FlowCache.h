@@ -78,12 +78,10 @@ public:
   /// null when incremental compilation is disabled. Defaults to a cache
   /// owned by this FlowCache.
   StageCache* stageCache() { return stageCache_; }
+  const StageCache* stageCache() const { return stageCache_; }
   /// Overrides the stage cache (shared across FlowCaches) or disables
   /// prefix adoption entirely (nullptr).
   void setStageCache(StageCache* cache);
-
-  /// Process-wide cache shared by benches, tools, and KernelHandle.
-  static FlowCache& global();
 
 private:
   struct Entry {

@@ -2,6 +2,7 @@
 
 #include "dsl/Parser.h"
 #include "ir/Transforms.h"
+#include "support/Diagnostics.h"
 #include "support/Error.h"
 #include "support/Format.h"
 
@@ -168,6 +169,31 @@ StageArtifacts Pipeline::snapshotPrefix(Stage stage) const {
 
 void Pipeline::runStage(Stage stage) {
   const auto start = std::chrono::steady_clock::now();
+  try {
+    executeStage(stage);
+  } catch (const DiagnosedError& e) {
+    // A pass reported structured diagnostics (parse/sema). Stamp the
+    // stage of origin — only the pipeline knows it — and rethrow with
+    // the message text unchanged.
+    DiagnosticList diagnostics = e.diagnostics();
+    diagnostics.attributeStage(stageName(stage));
+    throw DiagnosedError(e.what(), std::move(diagnostics));
+  } catch (const FlowError& e) {
+    // A bare FlowError (infeasible constraints, unsupported constructs)
+    // becomes one stage-attributed diagnostic, so the Session boundary
+    // always has structure to hand back. catch (FlowError&) callers see
+    // the identical message.
+    DiagnosticList diagnostics;
+    diagnostics.error({}, e.what(), stageName(stage));
+    throw DiagnosedError(e.what(), std::move(diagnostics));
+  }
+  const auto end = std::chrono::steady_clock::now();
+  provenance_[indexOf(stage)] = StageProvenance::Ran;
+  millis_[indexOf(stage)] =
+      std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+void Pipeline::executeStage(Stage stage) {
   switch (stage) {
   case Stage::Parse:
     artifacts_.ast =
@@ -224,10 +250,6 @@ void Pipeline::runStage(Stage stage) {
                                *artifacts_.schedule, options_.system));
     break;
   }
-  const auto end = std::chrono::steady_clock::now();
-  provenance_[indexOf(stage)] = StageProvenance::Ran;
-  millis_[indexOf(stage)] =
-      std::chrono::duration<double, std::milli>(end - start).count();
 }
 
 const dsl::Program& Pipeline::ast() {

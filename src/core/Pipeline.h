@@ -96,7 +96,12 @@ public:
 private:
   bool materialized(Stage stage) const;
   void adoptPrefix(Stage goal);
+  /// Runs `stage`, recording provenance/timing; FlowErrors escape as
+  /// DiagnosedError with the stage of origin stamped on every
+  /// diagnostic (same what() text — the Session boundary unwraps the
+  /// structure, legacy catch (FlowError&) sites are unaffected).
   void runStage(Stage stage);
+  void executeStage(Stage stage);
   /// The artifact-set prefix up to and including `stage` (for cache
   /// publication).
   StageArtifacts snapshotPrefix(Stage stage) const;

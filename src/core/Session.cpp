@@ -1,0 +1,324 @@
+#include "core/Session.h"
+
+#include "core/Objective.h"
+#include "support/Format.h"
+
+#include <chrono>
+#include <sstream>
+
+namespace cfd {
+
+namespace {
+
+/// Cross product of the declared axes over `base`, with the cfdc-style
+/// "key=value key=value" label per variant ("base" for the empty
+/// product). Axes must already be validated: applyTuneParam cannot
+/// throw here.
+void expandAxes(const std::vector<TuneAxis>& axes, std::size_t axisIndex,
+                FlowOptions current, const std::string& label,
+                std::vector<FlowOptions>& variants,
+                std::vector<std::string>& labels) {
+  if (axisIndex == axes.size()) {
+    variants.push_back(std::move(current));
+    labels.push_back(label.empty() ? "base" : label);
+    return;
+  }
+  const TuneAxis& axis = axes[axisIndex];
+  for (const std::string& value : axis.values) {
+    FlowOptions next = current;
+    applyTuneParam(next, axis.key, value);
+    expandAxes(axes, axisIndex + 1, std::move(next),
+               label.empty() ? axis.key + "=" + value
+                             : label + " " + axis.key + "=" + value,
+               variants, labels);
+  }
+}
+
+/// Validates every (key, value) of `axes` against a probe, collecting
+/// FlowError messages as diagnostics with stage "options".
+bool validateAxes(const std::vector<TuneAxis>& axes,
+                  DiagnosticList& diagnostics) {
+  bool ok = true;
+  for (const TuneAxis& axis : axes) {
+    if (axis.values.empty()) {
+      diagnostics.error({}, "axis '" + axis.key + "' has no values",
+                        "options");
+      ok = false;
+      continue;
+    }
+    FlowOptions probe;
+    for (const std::string& value : axis.values) {
+      try {
+        applyTuneParam(probe, axis.key, value);
+      } catch (const FlowError& e) {
+        diagnostics.error({}, e.what(), "options");
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
+/// Converts a caught flow failure into the structured list: a
+/// DiagnosedError contributes its diagnostics (stamped by the pipeline
+/// stage wrapper), a plain FlowError becomes one unattributed error.
+DiagnosticList diagnosticsFrom(const FlowError& error) {
+  if (const auto* diagnosed = dynamic_cast<const DiagnosedError*>(&error))
+    return diagnosed->diagnostics();
+  DiagnosticList diagnostics;
+  diagnostics.error({}, error.what());
+  return diagnostics;
+}
+
+} // namespace
+
+Session::Session(SessionOptions options)
+    : sessionOptions_(std::move(options)), defaults_(sessionOptions_.defaults),
+      pool_(sessionOptions_.workers) {
+  cache_.setCapacity(sessionOptions_.flowCacheCapacity);
+  if (StageCache* stages = cache_.stageCache())
+    stages->setCapacityBytes(sessionOptions_.stageCacheBytes);
+}
+
+FlowOptions Session::defaultOptions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return defaults_;
+}
+
+void Session::setDefaultOptions(FlowOptions options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  defaults_ = std::move(options);
+}
+
+FlowOptions Session::baseOptionsFor(
+    const std::optional<FlowOptions>& override_) const {
+  if (override_.has_value())
+    return *override_;
+  return defaultOptions();
+}
+
+void Session::countFailure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++failedRequests_;
+}
+
+Expected<CompileResult> Session::compile(const CompileRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++compileRequests_;
+  }
+  // Resolve options first: named overrides are request validation, so
+  // their failures carry stage "options" rather than a pipeline stage.
+  FlowOptions options = baseOptionsFor(request.options_);
+  {
+    DiagnosticList diagnostics;
+    for (const auto& [key, value] : request.params_) {
+      try {
+        applyTuneParam(options, key, value);
+      } catch (const FlowError& e) {
+        diagnostics.error({}, e.what(), "options");
+      }
+    }
+    if (diagnostics.hasErrors()) {
+      countFailure();
+      return Expected<CompileResult>::failure(std::move(diagnostics));
+    }
+  }
+
+  try {
+    CompileResult result;
+    const auto start = std::chrono::steady_clock::now();
+    result.flow_ = cache_.compile(request.source_, options,
+                                  &result.cacheHit_);
+    // Materialize inside the timed window: emission is part of what the
+    // request asked for.
+    const Flow& flow = *result.flow_;
+    if (contains(request.artifacts_, Artifacts::CCode))
+      result.cCode_ = flow.cCode();
+    if (contains(request.artifacts_, Artifacts::KernelPrototype))
+      result.kernelPrototype_ = flow.kernelPrototype();
+    if (contains(request.artifacts_, Artifacts::Mnemosyne))
+      result.mnemosyneConfig_ = flow.mnemosyneConfig();
+    if (contains(request.artifacts_, Artifacts::HostCode))
+      result.hostCode_ = flow.hostCode();
+    if (contains(request.artifacts_, Artifacts::CompatibilityDot))
+      result.compatibilityDot_ = flow.compatibilityDot();
+    result.compileMillis_ = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+    // Success still carries the frontend's non-error diagnostics
+    // (e.g. "input X is never used") — they live on the AST artifact,
+    // so warm compiles report the same warnings as cold ones.
+    DiagnosticList warnings = flow.ast().frontendWarnings;
+    return Expected<CompileResult>(std::move(result), std::move(warnings));
+  } catch (const FlowError& e) {
+    countFailure();
+    return Expected<CompileResult>::failure(diagnosticsFrom(e));
+  }
+}
+
+Expected<SweepResult> Session::sweep(const SweepRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++sweepRequests_;
+  }
+  DiagnosticList diagnostics;
+  if (!request.axes_.empty() && !request.variants_.empty()) {
+    diagnostics.error({},
+                      "SweepRequest cannot combine axis() with explicit "
+                      "variants()",
+                      "options");
+    countFailure();
+    return Expected<SweepResult>::failure(std::move(diagnostics));
+  }
+  if (!validateAxes(request.axes_, diagnostics)) {
+    countFailure();
+    return Expected<SweepResult>::failure(std::move(diagnostics));
+  }
+
+  SweepResult result;
+  std::vector<FlowOptions> variants;
+  if (!request.variants_.empty()) {
+    variants = request.variants_;
+    result.labels.reserve(variants.size());
+    for (std::size_t i = 0; i < variants.size(); ++i)
+      result.labels.push_back("variant " + std::to_string(i));
+  } else {
+    expandAxes(request.axes_, 0, baseOptionsFor(request.options_), "",
+               variants, result.labels);
+  }
+
+  ExplorerOptions explorerOptions;
+  explorerOptions.workers = request.workers_;
+  explorerOptions.simulateElements = request.simulateElements_;
+  explorerOptions.transferStrategy = request.transferStrategy_;
+  try {
+    result.exploration =
+        explore(*this, request.source_, variants, explorerOptions);
+  } catch (const FlowError& e) {
+    // Per-row failures never throw (Explorer records them); this
+    // boundary catch keeps the exception-free contract even if a
+    // future change lets a FlowError escape the sweep machinery.
+    countFailure();
+    return Expected<SweepResult>::failure(diagnosticsFrom(e));
+  }
+  return Expected<SweepResult>(std::move(result));
+}
+
+Expected<TuningReport> Session::tune(const TuneRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++tuneRequests_;
+  }
+  // Axes are not pre-validated here: cfd::tune probes every axis value
+  // eagerly itself, and the catch below attributes that failure to
+  // "options" — one validation implementation, not two.
+  DiagnosticList diagnostics;
+  TunerOptions tunerOptions;
+  tunerOptions.strategy = request.strategy_;
+  tunerOptions.seed = request.seed_;
+  tunerOptions.sampleCount = request.samples_;
+  tunerOptions.maxSteps = request.maxSteps_;
+  tunerOptions.base = baseOptionsFor(request.options_);
+  tunerOptions.workers = request.workers_;
+  tunerOptions.simulateElements = request.simulateElements_;
+  tunerOptions.transferStrategy = request.transferStrategy_;
+  for (const std::string& name : request.objectiveNames_) {
+    try {
+      tunerOptions.objectives.push_back(objectiveByName(name));
+    } catch (const FlowError& e) {
+      diagnostics.error({}, e.what(), "options");
+    }
+  }
+  if (diagnostics.hasErrors()) {
+    countFailure();
+    return Expected<TuningReport>::failure(std::move(diagnostics));
+  }
+
+  const TuneSpace space =
+      request.space_.axes.empty() ? defaultTuneSpace() : request.space_;
+  try {
+    return Expected<TuningReport>(
+        cfd::tune(*this, request.source_, space, tunerOptions));
+  } catch (const FlowError& e) {
+    // The only FlowError cfd::tune itself throws is eager axis
+    // validation (per-point compile failures stay in the report), so
+    // this is a request problem, not a compile failure.
+    countFailure();
+    DiagnosticList failure = diagnosticsFrom(e);
+    failure.attributeStage("options");
+    return Expected<TuningReport>::failure(std::move(failure));
+  }
+}
+
+Flow Session::compileFlow(const std::string& source, FlowOptions options) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++legacyCompiles_;
+  }
+  // The hermetic path: a fresh pipeline with no stage cache, exactly
+  // the pre-Session Flow::compile semantics (every stage runs, nothing
+  // is shared or published). The simple path stays simple — and
+  // reproducible — while the request API gets the shared state.
+  return Flow(std::make_shared<Pipeline>(source, std::move(options)));
+}
+
+std::shared_ptr<const Flow> Session::compileShared(const std::string& source,
+                                                   FlowOptions options) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++legacyCompiles_;
+  }
+  return cache_.compile(source, std::move(options));
+}
+
+Session::Stats Session::stats() const {
+  Stats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.compileRequests = compileRequests_;
+    stats.sweepRequests = sweepRequests_;
+    stats.tuneRequests = tuneRequests_;
+    stats.legacyCompiles = legacyCompiles_;
+    stats.failedRequests = failedRequests_;
+  }
+  stats.flowCache = cache_.stats();
+  if (const StageCache* stages = cache_.stageCache())
+    stats.stageCache = stages->stats();
+  stats.workerThreads = pool_.threadCount();
+  stats.workersStarted = pool_.started();
+  return stats;
+}
+
+std::string Session::statsReport() const {
+  const Stats stats = this->stats();
+  std::ostringstream os;
+  os << "  session: " << stats.compileRequests << " compile / "
+     << stats.sweepRequests << " sweep / " << stats.tuneRequests
+     << " tune requests (" << stats.failedRequests << " failed, "
+     << stats.legacyCompiles << " legacy compiles), pool "
+     << stats.workerThreads
+     << (stats.workersStarted ? " workers (started)\n"
+                              : " workers (not started)\n");
+  os << "  flow cache: " << stats.flowCache.hits << " hits / "
+     << stats.flowCache.misses << " misses ("
+     << stats.flowCache.inFlightJoins << " in-flight joins, "
+     << stats.flowCache.evictions << " evictions, "
+     << stats.flowCache.entries << " entries)\n";
+  os << "  stage cache: " << stats.stageCache.hits << " hits / "
+     << stats.stageCache.misses << " misses ("
+     << stats.stageCache.evictions << " evictions, "
+     << stats.stageCache.entries << " entries, ~"
+     << formatFixed(static_cast<double>(stats.stageCache.approxBytes) /
+                        (1024.0 * 1024.0),
+                    2)
+     << " MB)\n";
+  return os.str();
+}
+
+Session& Session::global() {
+  static Session session;
+  return session;
+}
+
+} // namespace cfd

@@ -1,6 +1,7 @@
 #include "core/Tuner.h"
 
 #include "core/Pareto.h"
+#include "core/Session.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -104,9 +105,10 @@ comboParams(const TuneSpace& space, const Combo& combo) {
 /// Shared state of one tune() run.
 class TuneRun {
 public:
-  TuneRun(const std::string& source, const TuneSpace& space,
-          const TunerOptions& options)
-      : source_(source), space_(space), options_(options) {
+  TuneRun(Session& session, const std::string& source,
+          const TuneSpace& space, const TunerOptions& options)
+      : session_(session), source_(source), space_(space),
+        options_(options) {
     objectives_ =
         options.objectives.empty() ? defaultObjectives() : options.objectives;
     CFD_ASSERT(!objectives_.empty(), "tuning needs at least one objective");
@@ -145,9 +147,8 @@ public:
     explorerOptions.workers = options_.workers;
     explorerOptions.simulateElements = options_.simulateElements;
     explorerOptions.transferStrategy = options_.transferStrategy;
-    explorerOptions.cache = options_.cache;
     const ExplorationResult batch =
-        explore(source_, variants, explorerOptions);
+        explore(session_, source_, variants, explorerOptions);
     if (report.workers < batch.workers)
       report.workers = batch.workers;
 
@@ -183,6 +184,7 @@ public:
   const std::vector<Objective>& objectives() const { return objectives_; }
 
 private:
+  Session& session_;
   const std::string& source_;
   const TuneSpace& space_;
   const TunerOptions& options_;
@@ -374,8 +376,8 @@ std::string TunedPoint::label() const {
   return label;
 }
 
-TuningReport tune(const std::string& source, const TuneSpace& space,
-                  const TunerOptions& options) {
+TuningReport tune(Session& session, const std::string& source,
+                  const TuneSpace& space, const TunerOptions& options) {
   // Validate the axes eagerly so a typo fails fast instead of
   // surfacing as N identical per-point errors.
   for (const TuneAxis& axis : space.axes) {
@@ -392,7 +394,7 @@ TuningReport tune(const std::string& source, const TuneSpace& space,
   report.space = space;
   report.spaceSize = space.size();
 
-  TuneRun run(source, space, options);
+  TuneRun run(session, source, space, options);
   for (const Objective& objective : run.objectives())
     report.objectives.push_back(objective.name);
 
@@ -413,7 +415,7 @@ TuningReport tune(const std::string& source, const TuneSpace& space,
                           .count();
 
   report.prunedCount = run.prunedCount();
-  FlowCache& cache = options.cache ? *options.cache : FlowCache::global();
+  FlowCache& cache = session.flowCache();
   report.flowCacheStats = cache.stats();
   if (cache.stageCache() != nullptr)
     report.stageCacheStats = cache.stageCache()->stats();
@@ -436,6 +438,11 @@ TuningReport tune(const std::string& source, const TuneSpace& space,
     report.frontier.push_back(pointIndex);
   }
   return report;
+}
+
+TuningReport tune(const std::string& source, const TuneSpace& space,
+                  const TunerOptions& options) {
+  return tune(Session::global(), source, space, options);
 }
 
 json::Value TuningReport::toJson() const {

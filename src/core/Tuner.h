@@ -29,6 +29,8 @@
 
 namespace cfd {
 
+class Session;
+
 /// One named parameter axis. Keys mirror the cfdc sweep keys:
 /// unroll|m|k|sharing|decoupled|objective|layout. Value order matters:
 /// hill-climb treats adjacent values as neighbors, so list numeric
@@ -88,11 +90,10 @@ struct TunerOptions {
   std::vector<Objective> objectives;
   /// Options every point starts from (axes overwrite their own fields).
   FlowOptions base;
-  /// Explorer pass-through.
+  /// Explorer pass-through (workers caps the session pool per batch).
   int workers = 0;
   std::int64_t simulateElements = 0;
   sim::TransferStrategy transferStrategy = sim::TransferStrategy::Blocking;
-  FlowCache* cache = nullptr;
 };
 
 /// One evaluated point of the space.
@@ -137,10 +138,18 @@ struct TuningReport {
   std::string jsonText() const;
 };
 
-/// Runs the configured search over (source x space). Points whose
-/// compile fails (Eq. 3 violations that survive the structural
-/// pre-filter, DSL errors) stay in the report with their error string;
-/// only malformed axes (unknown key/value) throw.
+/// Runs the configured search over (source x space), compiling through
+/// `session`'s cache and worker pool (the Tuner owns neither,
+/// DESIGN.md §10). Points whose compile fails (Eq. 3 violations that
+/// survive the structural pre-filter, DSL errors) stay in the report
+/// with their error string; only malformed axes (unknown key/value)
+/// throw.
+TuningReport tune(Session& session, const std::string& source,
+                  const TuneSpace& space, const TunerOptions& options = {});
+
+/// Convenience shim over Session::global(). As with the explore()
+/// shims, `options.workers` caps the global session's pool rather than
+/// spawning threads, so it cannot exceed hardware concurrency.
 TuningReport tune(const std::string& source, const TuneSpace& space,
                   const TunerOptions& options = {});
 

@@ -1,0 +1,148 @@
+#include "core/WorkerPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace cfd {
+
+namespace {
+
+int resolveThreads(int threads) {
+  if (threads <= 0)
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  return std::max(threads, 1);
+}
+
+} // namespace
+
+/// One parallelFor call in flight. Pool threads claim indices from
+/// `next` alongside the caller; `done` (guarded by `m`) counts finished
+/// indices so the caller knows when the batch drained even though other
+/// threads may still be inside body(i) when the cursor runs out.
+struct WorkerPool::Batch {
+  std::size_t jobs = 0;
+  int maxExtra = 0; // pool threads allowed to join (caller not counted)
+  int extra = 0;    // pool threads that joined; guarded by the pool mutex
+  std::function<void(std::size_t)> body;
+  std::atomic<std::size_t> next{0};
+
+  std::mutex m;
+  std::condition_variable drained;
+  std::size_t done = 0;              // guarded by m
+  std::exception_ptr error;          // first body exception; guarded by m
+};
+
+WorkerPool::WorkerPool(int threads) : threadCount_(resolveThreads(threads)) {}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wakeWorkers_.notify_all();
+  for (std::thread& thread : threads_)
+    thread.join();
+}
+
+bool WorkerPool::started() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return started_;
+}
+
+void WorkerPool::ensureStartedLocked() {
+  if (started_)
+    return;
+  started_ = true;
+  const int poolThreads = threadCount_ - 1;
+  threads_.reserve(static_cast<std::size_t>(poolThreads));
+  for (int i = 0; i < poolThreads; ++i)
+    threads_.emplace_back([this] { workerLoop(); });
+}
+
+void WorkerPool::runBatch(Batch& batch) {
+  for (std::size_t i = batch.next.fetch_add(1); i < batch.jobs;
+       i = batch.next.fetch_add(1)) {
+    std::exception_ptr error;
+    try {
+      batch.body(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(batch.m);
+    if (error && !batch.error)
+      batch.error = error;
+    if (++batch.done == batch.jobs)
+      batch.drained.notify_all();
+  }
+}
+
+void WorkerPool::workerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    wakeWorkers_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_)
+      return;
+    const std::shared_ptr<Batch> batch = queue_.front();
+    const bool exhausted =
+        batch->next.load(std::memory_order_relaxed) >= batch->jobs;
+    if (exhausted || batch->extra >= batch->maxExtra) {
+      // Nothing left to claim (or the batch is at its concurrency cap):
+      // retire it from the queue and look again.
+      queue_.pop_front();
+      continue;
+    }
+    ++batch->extra;
+    if (batch->extra >= batch->maxExtra)
+      queue_.pop_front(); // full crew: stop offering it to other workers
+    lock.unlock();
+    runBatch(*batch);
+    lock.lock();
+  }
+}
+
+void WorkerPool::parallelFor(std::size_t jobs, int maxWorkers,
+                             const std::function<void(std::size_t)>& body) {
+  if (jobs == 0)
+    return;
+  int participants = threadCount_;
+  if (maxWorkers > 0)
+    participants = std::min(participants, maxWorkers);
+  if (jobs < static_cast<std::size_t>(participants))
+    participants = static_cast<int>(jobs);
+  participants = std::max(participants, 1);
+
+  const auto batch = std::make_shared<Batch>();
+  batch->jobs = jobs;
+  batch->maxExtra = participants - 1;
+  batch->body = body;
+
+  if (batch->maxExtra > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ensureStartedLocked();
+      queue_.push_back(batch);
+    }
+    wakeWorkers_.notify_all();
+  }
+
+  runBatch(*batch); // the caller is always one of the participants
+
+  {
+    std::unique_lock<std::mutex> lock(batch->m);
+    batch->drained.wait(lock, [&] { return batch->done == batch->jobs; });
+  }
+  if (batch->maxExtra > 0) {
+    // The cursor ran dry, so late-waking workers would retire the batch
+    // themselves; removing it here just keeps the queue from growing
+    // until the next wake-up.
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = std::find(queue_.begin(), queue_.end(), batch);
+    if (it != queue_.end())
+      queue_.erase(it);
+  }
+  if (batch->error)
+    std::rethrow_exception(batch->error);
+}
+
+} // namespace cfd

@@ -1,0 +1,75 @@
+// Lazily started worker-thread pool (DESIGN.md §10).
+//
+// Explorer and Tuner used to spawn (and join) a fresh set of
+// std::threads on every call; a long-lived Session amortizes that by
+// owning one WorkerPool. Threads start on the first parallelFor that
+// can actually use them and live until the pool is destroyed, parked on
+// a condition variable in between.
+//
+// The execution model is a capped parallel-for over an atomic cursor —
+// the same work-stealing shape the Explorer used, so sweep results stay
+// deterministic and independent of the worker count:
+//
+//  * the calling thread always participates (correctness never depends
+//    on pool threads being available — a pool of size 1 runs everything
+//    on the caller);
+//  * at most `maxWorkers - 1` pool threads join the caller, so
+//    concurrent batches from different application threads share the
+//    pool fairly instead of oversubscribing the machine;
+//  * bodies that throw do not tear down the pool: the first exception is
+//    captured and rethrown on the calling thread after the batch drains
+//    (Explorer bodies catch per-row errors themselves and never throw).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cfd {
+
+class WorkerPool {
+public:
+  /// `threads` = total parallelism including the calling thread
+  /// (0 = std::thread::hardware_concurrency, at least 1). The pool
+  /// itself owns `threads - 1` std::threads, started lazily.
+  explicit WorkerPool(int threads = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total parallelism (pool threads + the caller).
+  int threadCount() const { return threadCount_; }
+  /// True once the pool threads have been spawned.
+  bool started() const;
+
+  /// Runs body(i) for every i in [0, jobs), on the caller plus up to
+  /// min(maxWorkers, threadCount()) - 1 pool threads (maxWorkers <= 0 =
+  /// no per-call cap). Blocks until every index completed; rethrows the
+  /// first exception a body threw. Safe to call from multiple threads
+  /// concurrently; must not be called from inside a body.
+  void parallelFor(std::size_t jobs, int maxWorkers,
+                   const std::function<void(std::size_t)>& body);
+
+private:
+  struct Batch;
+
+  void ensureStartedLocked();
+  void workerLoop();
+  static void runBatch(Batch& batch);
+
+  const int threadCount_; // resolved total parallelism, >= 1
+  mutable std::mutex mutex_;
+  std::condition_variable wakeWorkers_;
+  std::vector<std::thread> threads_;
+  std::deque<std::shared_ptr<Batch>> queue_;
+  bool started_ = false;
+  bool stop_ = false;
+};
+
+} // namespace cfd

@@ -5,6 +5,7 @@
 // happens in ir/Lowering.h.
 #pragma once
 
+#include "support/Diagnostics.h"
 #include "support/SourceLocation.h"
 
 #include <cstdint>
@@ -90,6 +91,11 @@ struct Program {
   std::vector<TypeDecl> types;
   std::vector<VarDecl> declarations;
   std::vector<Assignment> assignments;
+  /// Non-error diagnostics the frontend produced while checking this
+  /// program (e.g. "input X is never used"), stage-attributed to
+  /// "parse". Part of the artifact, so cached compiles carry the same
+  /// warnings as cold ones; Session::compile surfaces them on success.
+  DiagnosticList frontendWarnings;
 
   const VarDecl* findDecl(const std::string& name) const;
   const TypeDecl* findType(const std::string& name) const;

@@ -285,6 +285,12 @@ Program parseAndCheck(std::string_view source) {
   diagnostics.throwIfErrors("parsing");
   analyze(program, diagnostics);
   diagnostics.throwIfErrors("semantic analysis");
+  // Success: keep the warnings/notes on the artifact (errors threw).
+  for (Diagnostic diagnostic : diagnostics.all()) {
+    if (diagnostic.stage.empty())
+      diagnostic.stage = "parse";
+    program.frontendWarnings.add(std::move(diagnostic));
+  }
   return program;
 }
 

@@ -1,12 +1,11 @@
 #include "support/Diagnostics.h"
 
-#include "support/Error.h"
+#include "support/Json.h"
 
 #include <sstream>
 
 namespace cfd {
 
-namespace {
 const char* severityName(Severity severity) {
   switch (severity) {
   case Severity::Note:
@@ -18,37 +17,72 @@ const char* severityName(Severity severity) {
   }
   return "unknown";
 }
-} // namespace
 
 std::string Diagnostic::str() const {
   std::ostringstream os;
   os << location.str() << ": " << severityName(severity) << ": " << message;
+  if (!stage.empty())
+    os << " [" << stage << "]";
   return os.str();
 }
 
-void Diagnostics::error(SourceLocation loc, std::string message) {
-  diagnostics_.push_back({Severity::Error, loc, std::move(message)});
-  ++errorCount_;
+json::Value Diagnostic::toJson() const {
+  json::Value value = json::Value::object();
+  value.set("severity", severityName(severity));
+  value.set("message", message);
+  if (!stage.empty())
+    value.set("stage", stage);
+  if (location.isValid()) {
+    value.set("line", location.line);
+    value.set("column", location.column);
+  }
+  return value;
 }
 
-void Diagnostics::warning(SourceLocation loc, std::string message) {
-  diagnostics_.push_back({Severity::Warning, loc, std::move(message)});
+void DiagnosticList::add(Diagnostic diagnostic) {
+  if (diagnostic.severity == Severity::Error)
+    ++errorCount_;
+  diagnostics_.push_back(std::move(diagnostic));
 }
 
-void Diagnostics::note(SourceLocation loc, std::string message) {
-  diagnostics_.push_back({Severity::Note, loc, std::move(message)});
+void DiagnosticList::error(SourceLocation loc, std::string message,
+                           std::string stage) {
+  add({Severity::Error, loc, std::move(message), std::move(stage)});
 }
 
-std::string Diagnostics::str() const {
+void DiagnosticList::warning(SourceLocation loc, std::string message,
+                             std::string stage) {
+  add({Severity::Warning, loc, std::move(message), std::move(stage)});
+}
+
+void DiagnosticList::note(SourceLocation loc, std::string message,
+                          std::string stage) {
+  add({Severity::Note, loc, std::move(message), std::move(stage)});
+}
+
+void DiagnosticList::attributeStage(const std::string& stage) {
+  for (Diagnostic& diagnostic : diagnostics_)
+    if (diagnostic.stage.empty())
+      diagnostic.stage = stage;
+}
+
+std::string DiagnosticList::str() const {
   std::ostringstream os;
   for (const auto& diag : diagnostics_)
     os << diag.str() << "\n";
   return os.str();
 }
 
-void Diagnostics::throwIfErrors(const std::string& phase) const {
+json::Value DiagnosticList::toJson() const {
+  json::Value list = json::Value::array();
+  for (const Diagnostic& diagnostic : diagnostics_)
+    list.push(diagnostic.toJson());
+  return list;
+}
+
+void DiagnosticList::throwIfErrors(const std::string& phase) const {
   if (hasErrors())
-    throw FlowError(phase + " failed:\n" + str());
+    throw DiagnosedError(phase + " failed:\n" + str(), *this);
 }
 
 } // namespace cfd

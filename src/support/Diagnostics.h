@@ -1,46 +1,110 @@
-// Diagnostic collection for the CFDlang frontend and flow passes.
+// Diagnostic collection for the CFDlang frontend and flow passes
+// (DESIGN.md §10).
 //
 // Errors are accumulated rather than thrown so the frontend can report
 // multiple problems in one run; callers check hasErrors() at phase
-// boundaries.
+// boundaries. Every Diagnostic carries a severity, the source location
+// it points at (invalid for non-source problems such as infeasible
+// constraints), and the pipeline stage it originated from ("parse",
+// "hls", ... — filled in by core/Pipeline when an error crosses a stage
+// boundary, empty while still inside the producing pass).
+//
+// The structured list travels two ways:
+//  * the legacy throwing path: throwIfErrors() raises DiagnosedError, a
+//    FlowError subclass that keeps the structured list attached, so
+//    existing catch (FlowError&) sites observe identical behavior while
+//    the Session boundary (core/Session.h) can recover the structure;
+//  * the non-throwing path: cfd::Expected<T> (support/Expected.h)
+//    carries a DiagnosticList instead of an exception.
 #pragma once
 
+#include "support/Error.h"
 #include "support/SourceLocation.h"
 
 #include <string>
 #include <vector>
 
+namespace cfd::json {
+class Value;
+} // namespace cfd::json
+
 namespace cfd {
 
 enum class Severity { Note, Warning, Error };
+
+/// Stable lower-case name ("note" / "warning" / "error").
+const char* severityName(Severity severity);
 
 struct Diagnostic {
   Severity severity = Severity::Error;
   SourceLocation location;
   std::string message;
+  /// Pipeline stage of origin ("parse", "lower", ..., "sysgen", or a
+  /// service-level tag like "options"); empty when unattributed.
+  std::string stage;
 
+  /// "line:col: severity: message" — and " [stage]" when attributed.
   std::string str() const;
+  /// {"severity", "message", "stage"?, "line"/"column"?} (DESIGN.md §8
+  /// conventions: members in insertion order, omitted when absent).
+  json::Value toJson() const;
 };
 
-class Diagnostics {
+/// An ordered list of diagnostics with per-severity accounting.
+class DiagnosticList {
 public:
-  void error(SourceLocation loc, std::string message);
-  void warning(SourceLocation loc, std::string message);
-  void note(SourceLocation loc, std::string message);
+  void add(Diagnostic diagnostic);
+  void error(SourceLocation loc, std::string message,
+             std::string stage = {});
+  void warning(SourceLocation loc, std::string message,
+               std::string stage = {});
+  void note(SourceLocation loc, std::string message, std::string stage = {});
 
+  bool empty() const { return diagnostics_.empty(); }
+  std::size_t size() const { return diagnostics_.size(); }
   bool hasErrors() const { return errorCount_ > 0; }
   std::size_t errorCount() const { return errorCount_; }
   const std::vector<Diagnostic>& all() const { return diagnostics_; }
+  const Diagnostic& operator[](std::size_t index) const {
+    return diagnostics_[index];
+  }
+  auto begin() const { return diagnostics_.begin(); }
+  auto end() const { return diagnostics_.end(); }
+
+  /// Stamps `stage` on every diagnostic that has no stage yet (the
+  /// pipeline boundary knows the stage; the producing pass does not).
+  void attributeStage(const std::string& stage);
 
   /// Renders every diagnostic, one per line.
   std::string str() const;
+  /// JSON array of Diagnostic::toJson() values (cfdc --diagnostics=json).
+  json::Value toJson() const;
 
-  /// Throws FlowError with the rendered diagnostics if any error occurred.
+  /// Throws DiagnosedError (a FlowError) with the rendered diagnostics
+  /// and the structured list attached, if any error occurred.
   void throwIfErrors(const std::string& phase) const;
 
 private:
   std::vector<Diagnostic> diagnostics_;
   std::size_t errorCount_ = 0;
+};
+
+/// Historical name; the frontend passes (Lexer/Parser/Sema) take this.
+using Diagnostics = DiagnosticList;
+
+/// A FlowError that keeps its structured DiagnosticList attached.
+/// Thrown by DiagnosticList::throwIfErrors and by the per-stage wrapper
+/// in core/Pipeline, caught (and unwrapped) at the Session boundary;
+/// everywhere else it behaves exactly like the FlowError it is.
+class DiagnosedError : public FlowError {
+public:
+  DiagnosedError(const std::string& what, DiagnosticList diagnostics)
+      : FlowError(what), diagnostics_(std::move(diagnostics)) {}
+
+  const DiagnosticList& diagnostics() const { return diagnostics_; }
+
+private:
+  DiagnosticList diagnostics_;
 };
 
 } // namespace cfd

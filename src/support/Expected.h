@@ -1,0 +1,85 @@
+// Expected<T>: a value or a DiagnosticList, never an exception
+// (DESIGN.md §10).
+//
+// The Session service API (core/Session.h) is exception-free on invalid
+// input: every request returns Expected<Result>, and failure carries the
+// structured diagnostics (severity, stage of origin, source location)
+// that the throwing paths of the pipeline would have flattened into a
+// FlowError message. Success may still carry non-error diagnostics
+// (warnings/notes accumulated along the way).
+//
+//   Expected<CompileResult> result = session.compile(request);
+//   if (!result) {
+//     for (const Diagnostic& d : result.diagnostics()) ...;
+//     return;
+//   }
+//   use(result->flow());
+//
+// Internal invariant violations (InternalError) still throw: they are
+// bugs in the flow, not invalid requests.
+#pragma once
+
+#include "support/Diagnostics.h"
+#include "support/Error.h"
+
+#include <optional>
+#include <utility>
+
+namespace cfd {
+
+template <typename T>
+class Expected {
+public:
+  /// Success. `diagnostics` may carry warnings/notes but no errors.
+  Expected(T value, DiagnosticList diagnostics = {})
+      : value_(std::move(value)), diagnostics_(std::move(diagnostics)) {
+    CFD_ASSERT(!diagnostics_.hasErrors(),
+               "successful Expected cannot carry error diagnostics");
+  }
+
+  /// Failure: at least one diagnostic, at least one of severity Error.
+  static Expected failure(DiagnosticList diagnostics) {
+    CFD_ASSERT(diagnostics.hasErrors(),
+               "failed Expected requires an error diagnostic");
+    Expected expected;
+    expected.diagnostics_ = std::move(diagnostics);
+    return expected;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The carried value; asserts ok().
+  T& value() & {
+    CFD_ASSERT(ok(), "Expected::value() on a failed result");
+    return *value_;
+  }
+  const T& value() const& {
+    CFD_ASSERT(ok(), "Expected::value() on a failed result");
+    return *value_;
+  }
+  T&& value() && {
+    CFD_ASSERT(ok(), "Expected::value() on a failed result");
+    return std::move(*value_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+  /// On failure: the errors (plus any notes/warnings). On success: any
+  /// non-error diagnostics collected while producing the value.
+  const DiagnosticList& diagnostics() const { return diagnostics_; }
+
+  /// Rendered diagnostics, one per line (empty string when none).
+  std::string errorText() const { return diagnostics_.str(); }
+
+private:
+  Expected() = default;
+
+  std::optional<T> value_;
+  DiagnosticList diagnostics_;
+};
+
+} // namespace cfd

@@ -136,5 +136,37 @@ TEST(ArgumentPackTest, MutableBufferServesAsInput) {
   EXPECT_THROW(pack.inputBuffer("y"), FlowError);
 }
 
+TEST(ArgumentPackTest, RebindingReplacesDeterministically) {
+  // A name lives in exactly one table: rebinding mutable-then-const (or
+  // the reverse) must not leave a stale shadow behind.
+  ArgumentPack pack;
+  std::vector<double> first(4, 1.0);
+  std::vector<double> second(8, 2.0);
+
+  pack.bind("x", std::span<double>(first));
+  pack.bind("x", std::span<const double>(second));
+  EXPECT_EQ(pack.inputBuffer("x").size(), 8u); // last bind wins
+  EXPECT_THROW(pack.outputBuffer("x"), FlowError); // now const-only
+
+  pack.bind("x", std::span<double>(first));
+  EXPECT_EQ(pack.inputBuffer("x").size(), 4u);
+  EXPECT_EQ(pack.outputBuffer("x").size(), 4u); // mutable again
+
+  // Mutable-to-mutable and const-to-const rebinds replace too.
+  pack.bind("x", std::span<double>(second));
+  EXPECT_EQ(pack.outputBuffer("x").size(), 8u);
+}
+
+TEST(ArgumentPackTest, NamesListsEveryBindingOnceSorted) {
+  ArgumentPack pack;
+  std::vector<double> data(2, 0.0);
+  pack.bind("c", std::span<const double>(data));
+  pack.bind("a", std::span<double>(data));
+  pack.bind("b", std::span<const double>(data));
+  pack.bind("a", std::span<const double>(data)); // rebind, not a dup
+  EXPECT_EQ(pack.names(),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
 } // namespace
 } // namespace cfd::api

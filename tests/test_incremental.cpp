@@ -4,6 +4,7 @@
 #include "core/Explorer.h"
 #include "core/FlowCache.h"
 #include "core/Pipeline.h"
+#include "core/Session.h"
 #include "core/StageCache.h"
 #include "support/Error.h"
 #include "TestPrograms.h"
@@ -315,17 +316,15 @@ TEST(StageCacheTest, SharedAcrossExplorerWorkersWithoutDivergence) {
     options.hls.clockMHz = 100.0 + 10.0 * i;
     variants.push_back(options);
   }
-  FlowCache serialCache, parallelCache;
+  Session serialSession, parallelSession(SessionOptions{.workers = 4});
   ExplorerOptions serial;
   serial.workers = 1;
-  serial.cache = &serialCache;
   ExplorerOptions parallel;
   parallel.workers = 4;
-  parallel.cache = &parallelCache;
   const ExplorationResult a =
-      explore(test::kInverseHelmholtz, variants, serial);
+      explore(serialSession, test::kInverseHelmholtz, variants, serial);
   const ExplorationResult b =
-      explore(test::kInverseHelmholtz, variants, parallel);
+      explore(parallelSession, test::kInverseHelmholtz, variants, parallel);
   ASSERT_EQ(a.rows.size(), b.rows.size());
   for (std::size_t i = 0; i < a.rows.size(); ++i) {
     ASSERT_TRUE(a.rows[i].ok());

@@ -1,4 +1,5 @@
 #include "core/Explorer.h"
+#include "core/Session.h"
 #include "core/FlowCache.h"
 #include "core/Pipeline.h"
 #include "support/Error.h"
@@ -183,17 +184,16 @@ TEST(ExplorerTest, ResultsAreIndependentOfWorkerCount) {
   const std::string source = test::inverseHelmholtzSource(5);
   const std::vector<FlowOptions> variants = smallSweep();
 
-  FlowCache cacheA, cacheB;
+  Session sessionA, sessionB(SessionOptions{.workers = 4});
   ExplorerOptions serial;
   serial.workers = 1;
   serial.simulateElements = 1000;
-  serial.cache = &cacheA;
   ExplorerOptions parallel = serial;
   parallel.workers = 4;
-  parallel.cache = &cacheB;
 
-  const ExplorationResult a = explore(source, variants, serial);
-  const ExplorationResult b = explore(source, variants, parallel);
+  const ExplorationResult a = explore(sessionA, source, variants, serial);
+  const ExplorationResult b =
+      explore(sessionB, source, variants, parallel);
   ASSERT_EQ(a.rows.size(), variants.size());
   ASSERT_EQ(b.rows.size(), variants.size());
   EXPECT_EQ(a.workers, 1);
@@ -216,10 +216,9 @@ TEST(ExplorerTest, InfeasibleVariantsReportErrorsWithoutAborting) {
   variants[1].system.kernels = 2;
   ExplorerOptions options;
   options.workers = 2;
-  FlowCache cache;
-  options.cache = &cache;
+  Session session;
   const ExplorationResult result =
-      explore(test::inverseHelmholtzSource(5), variants, options);
+      explore(session, test::inverseHelmholtzSource(5), variants, options);
   ASSERT_EQ(result.rows.size(), 2u);
   EXPECT_TRUE(result.rows[0].ok());
   EXPECT_FALSE(result.rows[1].ok());
@@ -229,16 +228,15 @@ TEST(ExplorerTest, InfeasibleVariantsReportErrorsWithoutAborting) {
 }
 
 TEST(ExplorerTest, SweepReusesTheSharedCacheAcrossRuns) {
-  FlowCache cache;
+  Session session;
   ExplorerOptions options;
   options.workers = 2;
-  options.cache = &cache;
   const std::string source = test::inverseHelmholtzSource(5);
   const std::vector<FlowOptions> variants = smallSweep();
-  explore(source, variants, options);
-  const auto cold = cache.stats();
+  explore(session, source, variants, options);
+  const auto cold = session.flowCache().stats();
   EXPECT_EQ(cold.misses, static_cast<std::int64_t>(variants.size()));
-  const ExplorationResult warm = explore(source, variants, options);
+  const ExplorationResult warm = explore(session, source, variants, options);
   EXPECT_EQ(warm.cacheStats.misses, cold.misses);
   EXPECT_EQ(warm.cacheStats.hits,
             cold.hits + static_cast<std::int64_t>(variants.size()));
@@ -251,11 +249,10 @@ TEST(ExplorerTest, MixedSourceJobsExplore) {
     job.source = test::inverseHelmholtzSource(n);
     jobs.push_back(std::move(job));
   }
-  FlowCache cache;
+  Session session;
   ExplorerOptions options;
-  options.cache = &cache;
   options.simulateElements = 100;
-  const ExplorationResult result = explore(jobs, options);
+  const ExplorationResult result = explore(session, jobs, options);
   ASSERT_EQ(result.rows.size(), 2u);
   for (const ExplorationRow& row : result.rows) {
     ASSERT_TRUE(row.ok());

@@ -2,6 +2,7 @@
 // strategy determinism, hill-climb convergence, the structural
 // pre-filter, and the JSON report round-trip.
 #include "core/Pareto.h"
+#include "core/Session.h"
 #include "core/Tuner.h"
 #include "support/Error.h"
 #include "support/Json.h"
@@ -163,17 +164,15 @@ TEST(TunerTest, PrunesInfeasibleMkPairsBeforeCompiling) {
   space.axes.push_back(TuneAxis{"m", {"4", "6", "8"}});
   space.axes.push_back(TuneAxis{"k", {"4", "5"}});
 
-  FlowCache cache;
-  TunerOptions options;
-  options.cache = &cache;
-  const TuningReport report = tune(test::kMatMul2D, space, options);
+  Session session;
+  const TuningReport report = tune(session, test::kMatMul2D, space, {});
 
   // Feasible m/k pairs: (4,4) batch 1, (8,4) batch 2. Everything else
   // fails the structural check and must never reach the compiler.
   EXPECT_EQ(report.spaceSize, 6u);
   EXPECT_EQ(report.points.size(), 2u);
   EXPECT_EQ(report.prunedCount, 4u);
-  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(session.flowCache().stats().misses, 2);
   for (const TunedPoint& point : report.points)
     EXPECT_TRUE(point.row.ok()) << point.row.error;
 }
@@ -196,10 +195,9 @@ TuneSpace smallSpace() {
 }
 
 TEST(TunerTest, ExhaustiveCoversTheWholeSpace) {
-  FlowCache cache;
-  TunerOptions options;
-  options.cache = &cache;
-  const TuningReport report = tune(test::kMatMul2D, smallSpace(), options);
+  Session session;
+  const TuningReport report =
+      tune(session, test::kMatMul2D, smallSpace(), {});
   EXPECT_EQ(report.points.size(), 8u);
   EXPECT_EQ(report.spaceSize, 8u);
   EXPECT_EQ(report.prunedCount, 0u);
@@ -214,16 +212,15 @@ TEST(TunerTest, RandomIsSeedDeterministicAcrossWorkerCounts) {
   base.seed = 1234;
   base.sampleCount = 5;
 
-  FlowCache cacheA, cacheB;
+  Session sessionA, sessionB(SessionOptions{.workers = 4});
   TunerOptions a = base;
   a.workers = 1;
-  a.cache = &cacheA;
   TunerOptions b = base;
   b.workers = 4;
-  b.cache = &cacheB;
 
-  const TuningReport first = tune(test::kMatMul2D, smallSpace(), a);
-  const TuningReport second = tune(test::kMatMul2D, smallSpace(), b);
+  const TuningReport first = tune(sessionA, test::kMatMul2D, smallSpace(), a);
+  const TuningReport second =
+      tune(sessionB, test::kMatMul2D, smallSpace(), b);
 
   EXPECT_EQ(first.points.size(), 5u);
   EXPECT_EQ(labels(first), labels(second));
@@ -232,10 +229,9 @@ TEST(TunerTest, RandomIsSeedDeterministicAcrossWorkerCounts) {
     EXPECT_EQ(first.points[i].scores, second.points[i].scores);
 
   // And it evaluates strictly fewer points than exhaustive.
-  FlowCache cacheC;
-  TunerOptions exhaustive;
-  exhaustive.cache = &cacheC;
-  const TuningReport full = tune(test::kMatMul2D, smallSpace(), exhaustive);
+  Session sessionC;
+  const TuningReport full =
+      tune(sessionC, test::kMatMul2D, smallSpace(), {});
   EXPECT_LT(first.points.size(), full.points.size());
 }
 
@@ -250,12 +246,11 @@ TEST(TunerTest, HillClimbConvergesOnAConvexToyObjective) {
   TuneSpace space;
   space.axes.push_back(TuneAxis{"m", {"1", "2", "4", "8", "16"}});
 
-  FlowCache cache;
+  Session session;
   TunerOptions options;
   options.strategy = SearchStrategy::HillClimb;
   options.objectives = {toy};
-  options.cache = &cache;
-  const TuningReport report = tune(test::kMatMul2D, space, options);
+  const TuningReport report = tune(session, test::kMatMul2D, space, options);
 
   // Walk: m=1 -> m=2 -> m=4, then the m=8 neighbor scores worse and the
   // climb stops. m=16 is never compiled.
@@ -266,19 +261,17 @@ TEST(TunerTest, HillClimbConvergesOnAConvexToyObjective) {
   EXPECT_DOUBLE_EQ(report.points[report.frontier[0]].scores[0], 0.0);
 
   // Determinism: the same climb revisits the same points.
-  FlowCache cache2;
+  Session session2;
   TunerOptions again = options;
-  again.cache = &cache2;
   again.workers = 3;
-  const TuningReport repeat = tune(test::kMatMul2D, space, again);
+  const TuningReport repeat = tune(session2, test::kMatMul2D, space, again);
   EXPECT_EQ(labels(report), labels(repeat));
 }
 
 TEST(TunerTest, EmptySpaceEvaluatesTheBasePoint) {
-  FlowCache cache;
-  TunerOptions options;
-  options.cache = &cache;
-  const TuningReport report = tune(test::kMatMul2D, TuneSpace{}, options);
+  Session session;
+  const TuningReport report =
+      tune(session, test::kMatMul2D, TuneSpace{}, {});
   ASSERT_EQ(report.points.size(), 1u);
   EXPECT_EQ(report.points[0].label(), "base");
   EXPECT_EQ(report.frontier, (std::vector<std::size_t>{0}));
@@ -296,12 +289,12 @@ TEST(TunerTest, RejectsUnknownAxesBeforeEvaluating) {
 // ---- Cache accounting (ExplorationRow::cacheHit satellite) ----
 
 TEST(TunerTest, SecondRunIsServedFromTheCache) {
-  FlowCache cache;
-  TunerOptions options;
-  options.cache = &cache;
-  const TuningReport cold = tune(test::kMatMul2D, smallSpace(), options);
+  Session session;
+  const TuningReport cold =
+      tune(session, test::kMatMul2D, smallSpace(), {});
   EXPECT_EQ(cold.cacheHitCount, 0u);
-  const TuningReport warm = tune(test::kMatMul2D, smallSpace(), options);
+  const TuningReport warm =
+      tune(session, test::kMatMul2D, smallSpace(), {});
   EXPECT_EQ(warm.cacheHitCount, warm.points.size());
   for (const TunedPoint& point : warm.points)
     EXPECT_TRUE(point.row.cacheHit);
@@ -311,17 +304,15 @@ TEST(TunerTest, SecondRunIsServedFromTheCache) {
 }
 
 TEST(ExplorerTest, RowsReportCacheHits) {
-  FlowCache cache;
-  ExplorerOptions options;
-  options.cache = &cache;
+  Session session;
   const std::vector<FlowOptions> variants(2);
   const ExplorationResult cold =
-      explore(test::kMatMul2D, variants, options);
+      explore(session, test::kMatMul2D, variants, {});
   // Two identical variants: one compile, one hit (dedup inside the
   // cache, regardless of which worker wins the race).
   EXPECT_EQ(cold.cacheHitCount(), 1u);
   const ExplorationResult warm =
-      explore(test::kMatMul2D, variants, options);
+      explore(session, test::kMatMul2D, variants, {});
   EXPECT_EQ(warm.cacheHitCount(), 2u);
   for (const ExplorationRow& row : warm.rows)
     EXPECT_TRUE(row.cacheHit);
@@ -330,10 +321,9 @@ TEST(ExplorerTest, RowsReportCacheHits) {
 // ---- JSON report shape and round-trip ----
 
 TEST(TunerTest, JsonReportRoundTripsWithTheExpectedShape) {
-  FlowCache cache;
-  TunerOptions options;
-  options.cache = &cache;
-  const TuningReport report = tune(test::kMatMul2D, smallSpace(), options);
+  Session session;
+  const TuningReport report =
+      tune(session, test::kMatMul2D, smallSpace(), {});
 
   const std::string text = report.jsonText();
   const json::Value doc = json::Value::parse(text);
@@ -367,15 +357,13 @@ TEST(TunerTest, JsonReportRoundTripsWithTheExpectedShape) {
 TEST(TunerTest, JsonReportIsDeterministicModuloTiming) {
   // Two cold runs on separate caches must agree on everything except
   // the "timing" object and per-point compile_ms/cache_hit fields.
-  FlowCache cacheA, cacheB;
+  Session sessionA, sessionB;
   TunerOptions a, b;
-  a.cache = &cacheA;
-  b.cache = &cacheB;
   b.workers = 2;
   const json::Value first =
-      tune(test::kMatMul2D, smallSpace(), a).toJson();
+      tune(sessionA, test::kMatMul2D, smallSpace(), a).toJson();
   const json::Value second =
-      tune(test::kMatMul2D, smallSpace(), b).toJson();
+      tune(sessionB, test::kMatMul2D, smallSpace(), b).toJson();
 
   for (const char* key : {"schema", "strategy", "seed", "space",
                           "objectives", "points", "frontier"}) {

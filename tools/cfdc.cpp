@@ -1,21 +1,28 @@
 // cfdc — command-line driver for the CFDlang-to-FPGA flow.
 //
+// The whole invocation runs against ONE cfd::Session (DESIGN.md §10),
+// so every mode shares the same FlowCache/StageCache and worker pool
+// and can print session-level statistics.
+//
 // Three modes (README.md "Using the CLI" has worked examples):
 //
 //  * single-shot: compile one configuration, print/write an artifact
 //    (--emit), optionally --validate and --simulate;
 //  * --sweep: explore the cross product of declared axes in parallel
-//    through the FlowCache and print one row per variant (DESIGN.md §3);
+//    through the session cache and print one row per variant
+//    (DESIGN.md §3);
 //  * --tune: search the axes with a strategy (exhaustive, seeded
 //    random, hill-climb), score pluggable objectives, and report the
 //    Pareto frontier as a table and/or a JSON report (DESIGN.md §7-§8).
 //
+// Exit codes: 0 success, 1 I/O or validation failure, 2 usage error,
+// 3 compile diagnostics (malformed DSL, infeasible constraints).
+//
 // Run `cfdc --help` for the full flag reference.
-#include "core/Explorer.h"
-#include "core/Flow.h"
-#include "core/Tuner.h"
+#include "core/Session.h"
 #include "support/Error.h"
 #include "support/Format.h"
+#include "support/Json.h"
 
 #include <algorithm>
 #include <cstdint>
@@ -26,6 +33,9 @@
 #include <vector>
 
 namespace {
+
+constexpr int kExitIo = 1;
+constexpr int kExitDiagnostics = 3;
 
 struct SweepAxis {
   std::string key;
@@ -55,6 +65,7 @@ struct CliOptions {
   /// Name of the first --tune-only flag seen, for the without---tune
   /// diagnostic (these must never be silently ignored).
   std::string tuneOnlyFlag;
+  bool diagnosticsJson = false;
 };
 
 [[noreturn]] void usage(const std::string& error = {}) {
@@ -79,6 +90,10 @@ Single-shot compilation:
   --simulate=Ne            simulate Ne elements on the platform model
   --validate               compare the schedule against the Eq. 1
                            reference semantics (exit 1 above 1e-8)
+  --diagnostics=json       on a compile failure, print the structured
+                           diagnostics (severity, stage, line/column)
+                           as JSON on stdout instead of text on stderr;
+                           the exit code stays 3
 
 Design-space search:
   --sweep=key=v1,v2,...    declare one axis (repeatable; axes combine as
@@ -112,6 +127,9 @@ Design-space search:
 With --tune, --emit=json prints the JSON report (DESIGN.md §8) on
 stdout and -o writes it to a file; --simulate=Ne makes the latency
 objective include AXI transfer costs.
+
+Exit codes: 0 success; 1 I/O or validation failure; 2 usage error;
+3 compile diagnostics (malformed DSL, infeasible constraints).
 )";
   std::exit(error.empty() ? 0 : 2);
 }
@@ -248,6 +266,10 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
       options.tuneOnlyFlag = "--objectives";
     } else if (arg == "--validate") {
       options.validate = true;
+    } else if (consumeValue(arg, "--diagnostics=", value)) {
+      if (value != "json")
+        usage("--diagnostics only supports json (got '" + value + "')");
+      options.diagnosticsJson = true;
     } else if (!arg.empty() && arg[0] == '-') {
       usage("unknown option '" + arg + "'");
     } else if (options.inputPath.empty()) {
@@ -285,73 +307,72 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
       usage("--stage-cache-mb only applies to --sweep/--tune (a "
             "single-shot compile does not populate the stage cache)");
   }
+  if (options.diagnosticsJson && (options.tune || !options.sweeps.empty()))
+    usage("--diagnostics=json only applies to single-shot compiles "
+          "(sweep/tune report per-point errors in their own output)");
   return options;
 }
 
-/// Cross product of every sweep axis; each variant starts from the base
-/// flags so `--unroll=2 --sweep=m=4,8` behaves as expected.
-void buildVariants(const CliOptions& options, std::size_t axisIndex,
-                   cfd::FlowOptions current, std::string label,
-                   std::vector<cfd::FlowOptions>& variants,
-                   std::vector<std::string>& labels) {
-  if (axisIndex == options.sweeps.size()) {
-    variants.push_back(std::move(current));
-    labels.push_back(label.empty() ? "base" : label);
-    return;
-  }
-  const SweepAxis& axis = options.sweeps[axisIndex];
-  for (const std::string& value : axis.values) {
-    cfd::FlowOptions next = current;
-    applySweepValue(next, axis.key, value);
-    buildVariants(options, axisIndex + 1, std::move(next),
-                  label.empty() ? axis.key + "=" + value
-                                : label + " " + axis.key + "=" + value,
-                  variants, labels);
-  }
-}
-
-/// Applies --stage-cache-mb to the cache the sweep/tune will compile
-/// through (the process-wide FlowCache and its stage cache).
-void applyStageCacheBound(const CliOptions& options) {
+/// Applies --stage-cache-mb to the session the sweep/tune will compile
+/// through.
+void applyStageCacheBound(const CliOptions& options, cfd::Session& session) {
   if (!options.stageCacheMbExplicit)
     return;
-  if (cfd::StageCache* cache = cfd::FlowCache::global().stageCache())
+  if (cfd::StageCache* cache = session.stageCache())
     cache->setCapacityBytes(static_cast<std::size_t>(options.stageCacheMb)
                             << 20);
 }
 
-void printCacheSummary(const cfd::FlowCache::Stats& flow,
-                       const cfd::StageCache::Stats& stage,
-                       std::int64_t stagesAdopted) {
-  std::cout << "  flow cache: " << flow.hits << " hits / " << flow.misses
-            << " misses (" << flow.inFlightJoins << " in-flight joins, "
-            << flow.evictions << " evictions, " << flow.entries
-            << " entries)\n";
-  std::cout << "  stage cache: " << stage.hits << " hits / " << stage.misses
-            << " misses (" << stage.evictions << " evictions, "
-            << stage.entries << " entries, ~"
-            << cfd::formatFixed(
-                   static_cast<double>(stage.approxBytes) / (1024.0 * 1024.0),
-                   2)
-            << " MB); " << stagesAdopted
+/// Session-level summary: request counters, pool state, both caches,
+/// plus the cross-row stage-adoption count of this sweep/tune.
+void printSessionSummary(const cfd::Session& session,
+                         std::int64_t stagesAdopted) {
+  std::cout << session.statsReport();
+  std::cout << "  " << stagesAdopted
             << " stage artifacts adopted across rows\n";
 }
 
-int runSweep(const CliOptions& options, const std::string& source) {
+/// Renders a failed request for humans (stderr) or tools
+/// (--diagnostics=json on stdout); returns the exit code to use.
+int reportDiagnostics(const cfd::DiagnosticList& diagnostics,
+                      bool asJson) {
+  if (asJson) {
+    cfd::json::Value root = cfd::json::Value::object();
+    root.set("schema", "cfd-diagnostics-v1");
+    root.set("diagnostics", diagnostics.toJson());
+    std::cout << root.dump(2) << "\n";
+  } else {
+    std::cerr << "cfdc: compile failed:\n";
+    for (const cfd::Diagnostic& diagnostic : diagnostics)
+      std::cerr << "  " << diagnostic.str() << "\n";
+  }
+  return kExitDiagnostics;
+}
+
+int runSweep(const CliOptions& options, cfd::Session& session,
+             const std::string& source) {
   using cfd::formatFixed;
   using cfd::padLeft;
   using cfd::padRight;
 
-  std::vector<cfd::FlowOptions> variants;
-  std::vector<std::string> labels;
-  buildVariants(options, 0, options.flow, "", variants, labels);
+  applyStageCacheBound(options, session);
+  cfd::SweepRequest request(source);
+  request.options(options.flow)
+      .workers(options.jobs)
+      .simulateElements(options.simulateElements);
+  for (const SweepAxis& axis : options.sweeps)
+    request.axis(axis.key, axis.values);
 
-  applyStageCacheBound(options);
-  cfd::ExplorerOptions explorerOptions;
-  explorerOptions.workers = options.jobs;
-  explorerOptions.simulateElements = options.simulateElements;
-  const cfd::ExplorationResult result =
-      cfd::explore(source, variants, explorerOptions);
+  const cfd::Expected<cfd::SweepResult> swept = session.sweep(request);
+  if (!swept) {
+    // Axes were validated at flag-parse time, so this is unreachable in
+    // practice — but a request API failure must never pass silently.
+    for (const cfd::Diagnostic& diagnostic : swept.diagnostics())
+      std::cerr << "cfdc: " << diagnostic.str() << "\n";
+    return 2;
+  }
+  const cfd::ExplorationResult& result = swept->exploration;
+  const std::vector<std::string>& labels = swept->labels;
 
   std::size_t labelWidth = 12;
   for (const std::string& label : labels)
@@ -396,37 +417,37 @@ int runSweep(const CliOptions& options, const std::string& source) {
             << result.cacheHitCount() << " from cache) on " << result.workers
             << (result.workers == 1 ? " worker in " : " workers in ")
             << formatFixed(result.wallMillis, 1) << " ms\n";
-  printCacheSummary(result.cacheStats, result.stageStats,
-                    result.stagesAdoptedTotal());
+  printSessionSummary(session, result.stagesAdoptedTotal());
   return 0;
 }
 
-int runTune(const CliOptions& options, const std::string& source) {
+int runTune(const CliOptions& options, cfd::Session& session,
+            const std::string& source) {
   using cfd::formatFixed;
   using cfd::padLeft;
   using cfd::padRight;
 
-  cfd::TuneSpace space;
-  if (options.sweeps.empty()) {
-    space = cfd::defaultTuneSpace();
-  } else {
-    for (const SweepAxis& axis : options.sweeps)
-      space.axes.push_back(cfd::TuneAxis{axis.key, axis.values});
+  applyStageCacheBound(options, session);
+  cfd::TuneRequest request(source);
+  request.options(options.flow)
+      .strategy(options.strategy)
+      .seed(options.seed)
+      .samples(options.samples)
+      .maxSteps(options.maxSteps)
+      .objectives(options.objectiveNames)
+      .workers(options.jobs)
+      .simulateElements(options.simulateElements);
+  for (const SweepAxis& axis : options.sweeps)
+    request.axis(axis.key, axis.values);
+
+  const cfd::Expected<cfd::TuningReport> tuned = session.tune(request);
+  if (!tuned) {
+    // Bad objective names land here: a flag problem, so exit 2.
+    for (const cfd::Diagnostic& diagnostic : tuned.diagnostics())
+      std::cerr << "cfdc: " << diagnostic.str() << "\n";
+    return 2;
   }
-
-  applyStageCacheBound(options);
-  cfd::TunerOptions tunerOptions;
-  tunerOptions.strategy = options.strategy;
-  tunerOptions.seed = options.seed;
-  tunerOptions.sampleCount = options.samples;
-  tunerOptions.maxSteps = options.maxSteps;
-  tunerOptions.base = options.flow;
-  tunerOptions.workers = options.jobs;
-  tunerOptions.simulateElements = options.simulateElements;
-  for (const std::string& name : options.objectiveNames)
-    tunerOptions.objectives.push_back(cfd::objectiveByName(name));
-
-  const cfd::TuningReport report = cfd::tune(source, space, tunerOptions);
+  const cfd::TuningReport& report = *tuned;
   const std::string json = report.jsonText();
 
   if (!options.outputPath.empty()) {
@@ -475,8 +496,7 @@ int runTune(const CliOptions& options, const std::string& source) {
             << " from cache) on " << report.workers
             << (report.workers == 1 ? " worker in " : " workers in ")
             << formatFixed(report.wallMillis, 1) << " ms\n";
-  printCacheSummary(report.flowCacheStats, report.stageCacheStats,
-                    report.stagesAdoptedTotal);
+  printSessionSummary(session, report.stagesAdoptedTotal);
   std::cout << "  Pareto frontier: " << report.frontier.size()
             << (report.frontier.size() == 1 ? " point" : " points");
   for (std::size_t index : report.frontier)
@@ -497,6 +517,77 @@ std::string report(const cfd::Flow& flow) {
   return os.str();
 }
 
+/// One --emit kind: its Artifacts flag and the CompileResult accessor
+/// that returns the materialized text ("report" is the null entry —
+/// it is assembled from the flow instead).
+struct EmitKind {
+  const char* name;
+  cfd::Artifacts artifact;
+  const std::string& (cfd::CompileResult::*text)() const;
+};
+
+constexpr EmitKind kEmitKinds[] = {
+    {"c", cfd::Artifacts::CCode, &cfd::CompileResult::cCode},
+    {"mnemosyne", cfd::Artifacts::Mnemosyne,
+     &cfd::CompileResult::mnemosyneConfig},
+    {"host", cfd::Artifacts::HostCode, &cfd::CompileResult::hostCode},
+    {"dot", cfd::Artifacts::CompatibilityDot,
+     &cfd::CompileResult::compatibilityDot},
+};
+
+int runSingleShot(const CliOptions& options, cfd::Session& session,
+                  const std::string& source) {
+  // Validate --emit before compiling: an unknown artifact is a usage
+  // error, not a compile failure.
+  const EmitKind* emitKind = nullptr;
+  for (const EmitKind& kind : kEmitKinds)
+    if (options.emit == kind.name)
+      emitKind = &kind;
+  if (emitKind == nullptr && options.emit != "report")
+    usage("unknown artifact '" + options.emit + "'");
+
+  cfd::CompileRequest request(source);
+  request.options(options.flow);
+  if (emitKind != nullptr)
+    request.materialize(emitKind->artifact);
+  const cfd::Expected<cfd::CompileResult> compiled =
+      session.compile(request);
+  if (!compiled)
+    return reportDiagnostics(compiled.diagnostics(),
+                             options.diagnosticsJson);
+  for (const cfd::Diagnostic& diagnostic : compiled.diagnostics())
+    std::cerr << "cfdc: " << diagnostic.str() << "\n"; // warnings/notes
+  const cfd::Flow& flow = compiled->flow();
+
+  const std::string artifact = emitKind != nullptr
+                                   ? ((*compiled).*(emitKind->text))()
+                                   : report(flow);
+
+  if (options.outputPath.empty()) {
+    std::cout << artifact;
+  } else {
+    std::ofstream out(options.outputPath);
+    if (!out) {
+      std::cerr << "cfdc: cannot write '" << options.outputPath << "'\n";
+      return kExitIo;
+    }
+    out << artifact;
+  }
+
+  if (options.validate) {
+    const double error = flow.validate();
+    std::cout << "validation max |error| = " << error << "\n";
+    if (error > 1e-8)
+      return 1;
+  }
+  if (options.simulateElements > 0) {
+    const auto result =
+        flow.simulate({.numElements = options.simulateElements});
+    std::cout << result.str();
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -506,58 +597,26 @@ int main(int argc, char** argv) {
   std::ifstream input(options.inputPath);
   if (!input) {
     std::cerr << "cfdc: cannot open '" << options.inputPath << "'\n";
-    return 1;
+    return kExitIo;
   }
   std::stringstream source;
   source << input.rdbuf();
 
+  // One session per invocation (DESIGN.md §10): --sweep/--tune and the
+  // single-shot path all compile through the same caches and pool.
+  // --jobs sizes the pool itself (0 = auto), so an explicit request
+  // above hardware_concurrency is honored, not clamped.
+  cfd::Session session(cfd::SessionOptions{.workers = options.jobs});
+
   try {
     if (options.tune)
-      return runTune(options, source.str());
+      return runTune(options, session, source.str());
     if (!options.sweeps.empty())
-      return runSweep(options, source.str());
-
-    const cfd::Flow flow = cfd::Flow::compile(source.str(), options.flow);
-
-    std::string artifact;
-    if (options.emit == "c")
-      artifact = flow.cCode();
-    else if (options.emit == "mnemosyne")
-      artifact = flow.mnemosyneConfig();
-    else if (options.emit == "host")
-      artifact = flow.hostCode();
-    else if (options.emit == "dot")
-      artifact = flow.compatibilityDot();
-    else if (options.emit == "report")
-      artifact = report(flow);
-    else
-      usage("unknown artifact '" + options.emit + "'");
-
-    if (options.outputPath.empty()) {
-      std::cout << artifact;
-    } else {
-      std::ofstream out(options.outputPath);
-      if (!out) {
-        std::cerr << "cfdc: cannot write '" << options.outputPath << "'\n";
-        return 1;
-      }
-      out << artifact;
-    }
-
-    if (options.validate) {
-      const double error = flow.validate();
-      std::cout << "validation max |error| = " << error << "\n";
-      if (error > 1e-8)
-        return 1;
-    }
-    if (options.simulateElements > 0) {
-      const auto result =
-          flow.simulate({.numElements = options.simulateElements});
-      std::cout << result.str();
-    }
+      return runSweep(options, session, source.str());
+    return runSingleShot(options, session, source.str());
   } catch (const cfd::FlowError& e) {
+    // Post-compile failures (--validate / --simulate assertions).
     std::cerr << "cfdc: " << e.what() << "\n";
-    return 1;
+    return kExitIo;
   }
-  return 0;
 }
