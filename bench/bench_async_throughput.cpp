@@ -1,0 +1,161 @@
+// Async job-queue throughput benchmark (DESIGN.md §11).
+//
+// The service question behind the job queue: how much faster does a
+// client get its 200-point sweep back when it stops issuing one
+// blocking compile() after another and instead submits the whole batch
+// asynchronously? Three configurations over the same HLS-only sweep
+// (each against a FRESH session, so every run pays its own cold
+// stages):
+//
+//   blocking : compile() in a loop on the caller — the pre-async shape
+//   async-1  : submitBatch on a 1-worker queue — queueing + coalescing
+//              alone (the leader/follower ordering warms the prefix)
+//   async-N  : submitBatch on a hardware-sized pool — ordering plus
+//              parallelism
+//
+// Emits a `cfd-async-v1` JSON report via BenchCommon when
+// $CFD_TUNE_REPORT is set.
+#include "BenchCommon.h"
+
+#include "core/Session.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+namespace {
+
+struct RunResult {
+  double wallMillis = 0;
+  std::int64_t stageHits = 0;
+  std::int64_t stageMisses = 0;
+  std::int64_t flowMisses = 0;
+};
+
+std::vector<cfd::CompileRequest> sweepRequests(int points) {
+  // HLS-only variation (clock + II): every point shares the
+  // parse..memory-plan prefix, the exact shape batch coalescing is for.
+  std::vector<cfd::CompileRequest> requests;
+  requests.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    cfd::FlowOptions options;
+    options.hls.clockMHz = 100.0 + i;
+    options.hls.requestedII = 1 + (i % 2);
+    requests.push_back(
+        cfd::CompileRequest(cfd::bench::kInverseHelmholtz).options(options));
+  }
+  return requests;
+}
+
+RunResult runBlocking(int points) {
+  cfd::Session session(cfd::SessionOptions{.workers = 1});
+  const auto start = std::chrono::steady_clock::now();
+  for (cfd::CompileRequest& request : sweepRequests(points)) {
+    const cfd::Expected<cfd::CompileResult> result =
+        session.compile(request);
+    if (!result.ok()) {
+      std::cerr << "FAIL: blocking compile failed: " << result.errorText();
+      std::exit(1);
+    }
+  }
+  RunResult run;
+  run.wallMillis = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  const cfd::Session::Stats stats = session.stats();
+  run.stageHits = stats.stageCache.hits;
+  run.stageMisses = stats.stageCache.misses;
+  run.flowMisses = stats.flowCache.misses;
+  return run;
+}
+
+RunResult runAsync(int points, int workers) {
+  cfd::Session session(cfd::SessionOptions{.workers = workers});
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<cfd::Job<cfd::CompileResult>> jobs =
+      session.submitBatch(sweepRequests(points));
+  for (const cfd::Job<cfd::CompileResult>& job : jobs)
+    if (!job.wait().ok()) {
+      std::cerr << "FAIL: async compile failed: " << job.wait().errorText();
+      std::exit(1);
+    }
+  RunResult run;
+  run.wallMillis = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  const cfd::Session::Stats stats = session.stats();
+  run.stageHits = stats.stageCache.hits;
+  run.stageMisses = stats.stageCache.misses;
+  run.flowMisses = stats.flowCache.misses;
+  if (stats.jobsCompleted != static_cast<std::int64_t>(jobs.size())) {
+    std::cerr << "FAIL: job accounting off: " << stats.jobsCompleted
+              << " completed of " << jobs.size() << "\n";
+    std::exit(1);
+  }
+  return run;
+}
+
+void printRun(const char* label, const RunResult& run, double baseline) {
+  std::cout << "  " << cfd::padRight(label, 12)
+            << cfd::padLeft(cfd::formatFixed(run.wallMillis, 1), 9)
+            << " ms   " << run.stageHits << " stage hits / "
+            << run.stageMisses << " misses   speedup "
+            << cfd::formatFixed(
+                   run.wallMillis > 0 ? baseline / run.wallMillis : 0.0, 2)
+            << "x\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const int points = argc > 1 ? std::atoi(argv[1]) : 200;
+  const int hardware = cfd::WorkerPool(0).threadCount();
+
+  cfd::bench::printHeader(
+      "async job queue: blocking loop vs batch submission");
+  std::cout << "  " << points
+            << "-point HLS-only sweep, fresh session per run\n\n";
+
+  const RunResult blocking = runBlocking(points);
+  const RunResult asyncOne = runAsync(points, 1);
+  const RunResult asyncMany = runAsync(points, hardware);
+
+  printRun("blocking", blocking, blocking.wallMillis);
+  printRun("async-1", asyncOne, blocking.wallMillis);
+  printRun(("async-" + std::to_string(hardware)).c_str(), asyncMany,
+           blocking.wallMillis);
+
+  // Correctness gates, not performance ones (timings vary with the
+  // machine): each async run compiled every distinct point exactly once
+  // — coalescing and in-flight dedup must not lose or duplicate work.
+  if (asyncOne.flowMisses != points || asyncMany.flowMisses > points) {
+    std::cerr << "\nFAIL: unexpected compile counts (async-1 "
+              << asyncOne.flowMisses << ", async-N " << asyncMany.flowMisses
+              << " for " << points << " points)\n";
+    return 1;
+  }
+
+  cfd::json::Value report = cfd::json::Value::object();
+  report.set("schema", "cfd-async-v1");
+  report.set("points", points);
+  report.set("workers", hardware);
+  cfd::json::Value runs = cfd::json::Value::object();
+  const auto runJson = [](const RunResult& run) {
+    cfd::json::Value value = cfd::json::Value::object();
+    value.set("wall_ms", run.wallMillis);
+    value.set("stage_hits", run.stageHits);
+    value.set("stage_misses", run.stageMisses);
+    value.set("flow_misses", run.flowMisses);
+    return value;
+  };
+  runs.set("blocking", runJson(blocking));
+  runs.set("async_1", runJson(asyncOne));
+  runs.set("async_n", runJson(asyncMany));
+  report.set("runs", std::move(runs));
+  cfd::bench::maybeWriteJsonReport(report);
+
+  std::cout << "\n  OK: batch submission completed " << points
+            << " points with consistent accounting\n";
+  return 0;
+}

@@ -31,6 +31,18 @@ std::int64_t ExplorationResult::stagesAdoptedTotal() const {
   return total;
 }
 
+std::string resumedFromStage(const Flow& flow, bool cacheHit) {
+  if (cacheHit)
+    return "flow-cache";
+  // A flow-cache miss that still ran zero stages (every artifact
+  // adopted) is "stage-cache", not "flow-cache".
+  for (int i = 0; i < kStageCount; ++i)
+    if (flow.pipeline().provenance(static_cast<Stage>(i)) ==
+        StageProvenance::Ran)
+      return stageName(static_cast<Stage>(i));
+  return "stage-cache";
+}
+
 namespace {
 
 ExplorationRow runJob(std::size_t index, const ExplorationJob& job,
@@ -39,31 +51,28 @@ ExplorationRow runJob(std::size_t index, const ExplorationJob& job,
   row.index = index;
   row.options = job.options;
   normalizeOptions(row.options);
+  // Cancellation cuts the sweep short row by row: rows not yet started
+  // record the cancellation as their error instead of compiling (a row
+  // already inside the pipeline stops at its next stage checkpoint via
+  // the token handed to the cache below).
+  if (options.cancelToken.cancelled()) {
+    row.error = options.cancelToken.error("before this row").what();
+    return row;
+  }
   const auto start = std::chrono::steady_clock::now();
   try {
-    row.flow = cache.compile(job.source, job.options, &row.cacheHit);
+    row.flow = cache.compile(job.source, job.options, &row.cacheHit,
+                             options.cancelToken);
     row.compileMillis = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - start)
                             .count();
     // Cache provenance of this row (cfdc --explain-cache): a full
     // FlowCache hit reused every stage; otherwise report where the
     // incremental compile resumed (the first stage that actually ran).
-    if (row.cacheHit) {
-      row.stagesAdopted = kStageCount;
-      row.resumedFrom = "flow-cache";
-    } else {
-      // A flow-cache miss that still ran zero stages (every artifact
-      // adopted — e.g. the Flow entry was evicted while the stage
-      // prefix survived) is "stage-cache", not "flow-cache".
-      row.stagesAdopted = row.flow->pipeline().adoptedStageCount();
-      row.resumedFrom = "stage-cache";
-      for (int i = 0; i < kStageCount; ++i)
-        if (row.flow->pipeline().provenance(static_cast<Stage>(i)) ==
-            StageProvenance::Ran) {
-          row.resumedFrom = stageName(static_cast<Stage>(i));
-          break;
-        }
-    }
+    row.stagesAdopted = row.cacheHit
+                            ? kStageCount
+                            : row.flow->pipeline().adoptedStageCount();
+    row.resumedFrom = resumedFromStage(*row.flow, row.cacheHit);
     if (options.simulateElements > 0) {
       sim::SimOptions simOptions;
       simOptions.numElements = options.simulateElements;
@@ -103,10 +112,16 @@ ExplorationResult explore(Session& session,
   const auto start = std::chrono::steady_clock::now();
   if (!jobs.empty()) {
     // Work-stealing over the pool's atomic cursor: rows land at their
-    // job index, so the result order never depends on scheduling.
-    pool.parallelFor(jobs.size(), workers, [&](std::size_t i) {
-      result.rows[i] = runJob(i, jobs[i], options, cache);
-    });
+    // job index, so the result order never depends on scheduling. The
+    // batch competes in the session's shared priority queue at the
+    // submitting job's priority (DESIGN.md §11) — one scheduler
+    // arbitrates sweeps, tunes, and async jobs alike.
+    pool.parallelFor(
+        jobs.size(), workers,
+        [&](std::size_t i) {
+          result.rows[i] = runJob(i, jobs[i], options, cache);
+        },
+        options.priority, options.jobTag);
   }
   result.wallMillis = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)

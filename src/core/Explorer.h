@@ -17,7 +17,9 @@
 #pragma once
 
 #include "core/FlowCache.h"
+#include "core/WorkerPool.h"
 #include "sim/PlatformSim.h"
+#include "support/Cancellation.h"
 
 #include <memory>
 #include <string>
@@ -66,6 +68,16 @@ struct ExplorerOptions {
   /// every feasible variant.
   std::int64_t simulateElements = 0;
   sim::TransferStrategy transferStrategy = sim::TransferStrategy::Blocking;
+  /// Cooperative cancellation (DESIGN.md §11): checked before each row
+  /// and between the pipeline stages of each row's compile. Rows cut
+  /// short carry the cancellation message in their error field.
+  CancelToken cancelToken;
+  /// Scheduling priority of this batch in the session's worker pool
+  /// (WorkerPool::kPriority*; sweep/tune jobs pass their own priority
+  /// so per-point work competes at the job's level).
+  int priority = WorkerPool::kPriorityNormal;
+  /// Diagnostic tag for the pool queue (the submitting job's id, or 0).
+  std::uint64_t jobTag = 0;
 };
 
 struct ExplorationResult {
@@ -83,6 +95,14 @@ struct ExplorationResult {
   /// Stage artifacts adopted across all rows (prefix reuse).
   std::int64_t stagesAdoptedTotal() const;
 };
+
+/// Cache provenance of one compiled flow (the ExplorationRow::
+/// resumedFrom string): "flow-cache" when the whole Flow was reused,
+/// "stage-cache" when a recompile adopted every stage artifact (e.g.
+/// the Flow entry was evicted while the stage prefix survived),
+/// otherwise the first pipeline stage that actually ran. Shared by the
+/// Explorer rows and cfdc's --async-jobs --explain-cache column.
+std::string resumedFromStage(const Flow& flow, bool cacheHit);
 
 /// Explores arbitrary (source, options) jobs through `session`'s cache
 /// and worker pool.

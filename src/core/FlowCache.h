@@ -21,6 +21,7 @@
 
 #include "core/Flow.h"
 #include "core/StageCache.h"
+#include "support/Cancellation.h"
 
 #include <cstdint>
 #include <deque>
@@ -57,9 +58,18 @@ public:
   /// When `cacheHit` is non-null it is set to true iff the request was
   /// served from the cache or an in-flight compile (the per-call view
   /// of Stats::hits, which only aggregates).
+  ///
+  /// `cancel` arms cooperative cancellation of the compile this call
+  /// performs (checked between pipeline stages, and polled every ~10ms
+  /// while joining another thread's in-flight compile; raises
+  /// CancelledError). A cancelled compile is never cached, and its
+  /// cancellation never poisons other threads: a waiter that joined
+  /// the cancelled owner's in-flight compile retries with its own
+  /// token instead of inheriting the owner's CancelledError.
   std::shared_ptr<const Flow> compile(const std::string& source,
                                       FlowOptions options = {},
-                                      bool* cacheHit = nullptr);
+                                      bool* cacheHit = nullptr,
+                                      CancelToken cancel = {});
 
   Stats stats() const;
   std::size_t size() const;

@@ -91,6 +91,13 @@ void Pipeline::require(Stage stage) {
     const Stage current = static_cast<Stage>(i);
     if (materialized(current))
       continue;
+    // Cancellation checkpoint (DESIGN.md §11): observed strictly
+    // between stages, so every stage that ran was already published to
+    // the cache above — the StageCache stays consistent and a later
+    // identical compile adopts the completed prefix.
+    if (cancelToken_.cancelled())
+      throw cancelToken_.error(std::string("before stage '") +
+                               stageName(current) + "'");
     runStage(current);
     if (stageCache_ != nullptr)
       stageCache_->insert(keys_[i], current, snapshotPrefix(current),

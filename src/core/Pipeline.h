@@ -30,6 +30,7 @@
 
 #include "core/StageCache.h"
 #include "core/StageGraph.h"
+#include "support/Cancellation.h"
 
 #include <array>
 #include <memory>
@@ -55,9 +56,19 @@ public:
 
   /// Materializes `stage` and its dependence closure, adopting the
   /// longest cached prefix first. Throws FlowError on invalid input or
-  /// infeasible constraints.
+  /// infeasible constraints, and CancelledError when the cancel token
+  /// fires (see setCancelToken).
   void require(Stage stage);
   void runAll() { require(Stage::SysGen); }
+
+  /// Arms cooperative cancellation (DESIGN.md §11): require() checks
+  /// the token before every stage it would run and raises
+  /// CancelledError when it fired — so a cancel lands within one stage
+  /// boundary, and every stage that already ran has been published to
+  /// the stage cache (a later identical compile resumes from that
+  /// prefix). Already-materialized artifacts stay readable; an empty
+  /// token (the default) never fires.
+  void setCancelToken(CancelToken token) { cancelToken_ = std::move(token); }
 
   /// True when the stage's artifact is available (ran or adopted).
   bool hasRun(Stage stage) const;
@@ -113,6 +124,7 @@ private:
   std::array<double, kStageCount> millis_{};
 
   StageCache* stageCache_ = nullptr;
+  CancelToken cancelToken_;
   /// Entries adopted from the cache: pins every upstream artifact a
   /// downstream one points into (e.g. Schedule::program) across
   /// eviction.

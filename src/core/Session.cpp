@@ -3,36 +3,14 @@
 #include "core/Objective.h"
 #include "support/Format.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
+#include <unordered_map>
 
 namespace cfd {
 
 namespace {
-
-/// Cross product of the declared axes over `base`, with the cfdc-style
-/// "key=value key=value" label per variant ("base" for the empty
-/// product). Axes must already be validated: applyTuneParam cannot
-/// throw here.
-void expandAxes(const std::vector<TuneAxis>& axes, std::size_t axisIndex,
-                FlowOptions current, const std::string& label,
-                std::vector<FlowOptions>& variants,
-                std::vector<std::string>& labels) {
-  if (axisIndex == axes.size()) {
-    variants.push_back(std::move(current));
-    labels.push_back(label.empty() ? "base" : label);
-    return;
-  }
-  const TuneAxis& axis = axes[axisIndex];
-  for (const std::string& value : axis.values) {
-    FlowOptions next = current;
-    applyTuneParam(next, axis.key, value);
-    expandAxes(axes, axisIndex + 1, std::move(next),
-               label.empty() ? axis.key + "=" + value
-                             : label + " " + axis.key + "=" + value,
-               variants, labels);
-  }
-}
 
 /// Validates every (key, value) of `axes` against a probe, collecting
 /// FlowError messages as diagnostics with stage "options".
@@ -70,6 +48,31 @@ DiagnosticList diagnosticsFrom(const FlowError& error) {
   return diagnostics;
 }
 
+/// Runs a job body, mapping the escape hatches onto Expected failures:
+/// CancelledError (a checkpoint fired) resolves as a cancellation, any
+/// other exception — InternalError included — must not tear down a
+/// worker thread, so it becomes a "job-queue" failure diagnostic.
+template <typename T>
+Expected<T> runJobWork(
+    const std::function<Expected<T>(const CancelToken&, std::uint64_t)>&
+        work,
+    const CancelToken& token, std::uint64_t jobId) {
+  try {
+    return work(token, jobId);
+  } catch (const CancelledError& e) {
+    return Expected<T>::failure(e.what(), "job-queue");
+  } catch (const std::exception& e) {
+    return Expected<T>::failure(std::string("internal error: ") + e.what(),
+                                "job-queue");
+  } catch (...) {
+    // Anything escaping a posted task would be silently dropped by the
+    // pool and leave the job unresolved forever (wait() and the
+    // session destructor would hang) — resolve no matter what.
+    return Expected<T>::failure("internal error: unknown exception",
+                                "job-queue");
+  }
+}
+
 } // namespace
 
 Session::Session(SessionOptions options)
@@ -78,6 +81,17 @@ Session::Session(SessionOptions options)
   cache_.setCapacity(sessionOptions_.flowCacheCapacity);
   if (StageCache* stages = cache_.stageCache())
     stages->setCapacityBytes(sessionOptions_.stageCacheBytes);
+}
+
+Session::~Session() {
+  // Graceful drain (DESIGN.md §11): queued jobs resolve as cancelled
+  // without ever starting; running jobs observe their token at the next
+  // stage checkpoint. Every Job handle resolves before the members —
+  // including the caches the job bodies touch — are destroyed; pool_ is
+  // the last member, so its destructor joins the workers right after.
+  for (const auto& job : liveJobs())
+    job->cancel();
+  drainJobs();
 }
 
 FlowOptions Session::defaultOptions() const {
@@ -103,6 +117,11 @@ void Session::countFailure() {
 }
 
 Expected<CompileResult> Session::compile(const CompileRequest& request) {
+  return compileImpl(request, CancelToken{});
+}
+
+Expected<CompileResult> Session::compileImpl(const CompileRequest& request,
+                                             const CancelToken& cancel) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++compileRequests_;
@@ -129,7 +148,7 @@ Expected<CompileResult> Session::compile(const CompileRequest& request) {
     CompileResult result;
     const auto start = std::chrono::steady_clock::now();
     result.flow_ = cache_.compile(request.source_, options,
-                                  &result.cacheHit_);
+                                  &result.cacheHit_, cancel);
     // Materialize inside the timed window: emission is part of what the
     // request asked for.
     const Flow& flow = *result.flow_;
@@ -151,6 +170,12 @@ Expected<CompileResult> Session::compile(const CompileRequest& request) {
     // so warm compiles report the same warnings as cold ones.
     DiagnosticList warnings = flow.ast().frontendWarnings;
     return Expected<CompileResult>(std::move(result), std::move(warnings));
+  } catch (const CancelledError&) {
+    // Not a compile failure: the job wrapper resolves the job as
+    // Cancelled (the synchronous path never arms a token, so this
+    // cannot escape a plain compile()).
+    countFailure();
+    throw;
   } catch (const FlowError& e) {
     countFailure();
     return Expected<CompileResult>::failure(diagnosticsFrom(e));
@@ -158,6 +183,13 @@ Expected<CompileResult> Session::compile(const CompileRequest& request) {
 }
 
 Expected<SweepResult> Session::sweep(const SweepRequest& request) {
+  return sweepImpl(request, CancelToken{}, JobPriority::Normal, 0);
+}
+
+Expected<SweepResult> Session::sweepImpl(const SweepRequest& request,
+                                         const CancelToken& cancel,
+                                         JobPriority priority,
+                                         std::uint64_t jobId) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++sweepRequests_;
@@ -184,14 +216,21 @@ Expected<SweepResult> Session::sweep(const SweepRequest& request) {
     for (std::size_t i = 0; i < variants.size(); ++i)
       result.labels.push_back("variant " + std::to_string(i));
   } else {
-    expandAxes(request.axes_, 0, baseOptionsFor(request.options_), "",
-               variants, result.labels);
+    // Axes were validated above, so the shared expansion cannot throw.
+    for (AxisVariant& variant :
+         expandAxisVariants(request.axes_, baseOptionsFor(request.options_))) {
+      variants.push_back(std::move(variant.options));
+      result.labels.push_back(std::move(variant.label));
+    }
   }
 
   ExplorerOptions explorerOptions;
   explorerOptions.workers = request.workers_;
   explorerOptions.simulateElements = request.simulateElements_;
   explorerOptions.transferStrategy = request.transferStrategy_;
+  explorerOptions.cancelToken = cancel;
+  explorerOptions.priority = static_cast<int>(priority);
+  explorerOptions.jobTag = jobId;
   try {
     result.exploration =
         explore(*this, request.source_, variants, explorerOptions);
@@ -206,6 +245,13 @@ Expected<SweepResult> Session::sweep(const SweepRequest& request) {
 }
 
 Expected<TuningReport> Session::tune(const TuneRequest& request) {
+  return tuneImpl(request, CancelToken{}, JobPriority::Normal, 0);
+}
+
+Expected<TuningReport> Session::tuneImpl(const TuneRequest& request,
+                                         const CancelToken& cancel,
+                                         JobPriority priority,
+                                         std::uint64_t jobId) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++tuneRequests_;
@@ -223,6 +269,9 @@ Expected<TuningReport> Session::tune(const TuneRequest& request) {
   tunerOptions.workers = request.workers_;
   tunerOptions.simulateElements = request.simulateElements_;
   tunerOptions.transferStrategy = request.transferStrategy_;
+  tunerOptions.cancelToken = cancel;
+  tunerOptions.priority = static_cast<int>(priority);
+  tunerOptions.jobTag = jobId;
   for (const std::string& name : request.objectiveNames_) {
     try {
       tunerOptions.objectives.push_back(objectiveByName(name));
@@ -249,6 +298,208 @@ Expected<TuningReport> Session::tune(const TuneRequest& request) {
     failure.attributeStage("options");
     return Expected<TuningReport>::failure(std::move(failure));
   }
+}
+
+// ---- Asynchronous job API (DESIGN.md §11) ----
+
+template <typename T>
+Job<T> Session::submitJob(
+    JobConfig config,
+    std::function<Expected<T>(const CancelToken&, std::uint64_t)> work) {
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = ++nextJobId_;
+  }
+  auto shared = std::make_shared<detail::JobShared<T>>(id, config.priority,
+                                                       jobCounters_);
+  if (config.deadlineMillis > 0)
+    shared->setDeadline(
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                config.deadlineMillis)));
+  registerJob(shared);
+  pool_.post(
+      [shared, work = std::move(work)] {
+        if (!shared->tryStart())
+          return; // cancelled or expired while queued; already resolved
+        const CancelToken token = shared->token();
+        Expected<T> result = runJobWork<T>(work, token, shared->id());
+        // Cancellation wins over whatever the work produced, so a
+        // Cancelled job ALWAYS carries a "job-queue" diagnostic — never
+        // a half-built success (a sweep cut short mid-batch) and never
+        // the work's own failure (a parse error the cancel raced): the
+        // caller asked for cancellation and gets exactly that answer.
+        // The CancelledError path already built the job-queue failure
+        // (with the stage-boundary context), so it is kept as is.
+        const bool asCancelled = token.cancelled();
+        if (asCancelled) {
+          const bool alreadyCancellation =
+              !result.ok() && result.diagnostics().size() >= 1 &&
+              result.diagnostics()[0].stage == "job-queue";
+          if (!alreadyCancellation)
+            result = Expected<T>::failure(
+                std::string(token.reason()) + " before completion",
+                "job-queue");
+        }
+        shared->resolve(std::move(result), asCancelled);
+      },
+      static_cast<int>(config.priority), id);
+  return Job<T>(shared);
+}
+
+std::shared_ptr<detail::JobBase> Session::registerJob(
+    const std::shared_ptr<detail::JobBase>& job) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (jobs_.size() >= 64)
+    jobs_.erase(std::remove_if(jobs_.begin(), jobs_.end(),
+                               [](const std::weak_ptr<detail::JobBase>& w) {
+                                 const auto strong = w.lock();
+                                 return strong == nullptr ||
+                                        strong->resolved();
+                               }),
+                jobs_.end());
+  jobs_.push_back(job);
+  return job;
+}
+
+std::vector<std::shared_ptr<detail::JobBase>> Session::liveJobs() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<detail::JobBase>> live;
+  std::vector<std::weak_ptr<detail::JobBase>> keep;
+  keep.reserve(jobs_.size());
+  for (const auto& weak : jobs_) {
+    auto job = weak.lock();
+    if (job == nullptr || job->resolved())
+      continue;
+    keep.push_back(weak);
+    live.push_back(std::move(job));
+  }
+  jobs_.swap(keep);
+  return live;
+}
+
+void Session::drainJobs() {
+  const auto counters = jobCounters_;
+  std::unique_lock<std::mutex> lock(counters->mutex);
+  counters->idle.wait(lock, [&] {
+    return counters->completed + counters->cancelled == counters->submitted;
+  });
+}
+
+Job<CompileResult> Session::submitCompile(CompileRequest request,
+                                          JobConfig config) {
+  return submitJob<CompileResult>(
+      config, [this, request = std::move(request)](
+                  const CancelToken& token, std::uint64_t) {
+        return compileImpl(request, token);
+      });
+}
+
+Job<SweepResult> Session::submitSweep(SweepRequest request,
+                                      JobConfig config) {
+  return submitJob<SweepResult>(
+      config, [this, request = std::move(request),
+               priority = config.priority](const CancelToken& token,
+                                           std::uint64_t jobId) {
+        return sweepImpl(request, token, priority, jobId);
+      });
+}
+
+Job<TuningReport> Session::submitTune(TuneRequest request,
+                                      JobConfig config) {
+  return submitJob<TuningReport>(
+      config, [this, request = std::move(request),
+               priority = config.priority](const CancelToken& token,
+                                           std::uint64_t jobId) {
+        return tuneImpl(request, token, priority, jobId);
+      });
+}
+
+std::vector<Job<CompileResult>> Session::submitBatch(
+    std::vector<CompileRequest> requests, JobConfig config) {
+  // Plan the batch: resolve every request's effective options and group
+  // by the parse..liveness stage-prefix key (Merkle-chained, so equal
+  // keys imply the whole prefix matches, DESIGN.md §9). Requests whose
+  // overrides do not even parse get a unique group each — they fail
+  // with the proper "options" diagnostics once their job runs.
+  std::vector<std::size_t> groupIndex(requests.size(), 0);
+  std::unordered_map<std::uint64_t, std::size_t> groupOf;
+  std::vector<std::vector<std::size_t>> groups;
+  StageCache* stages = stageCache();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    FlowOptions options = baseOptionsFor(requests[i].options_);
+    bool valid = true;
+    for (const auto& [key, value] : requests[i].params_) {
+      try {
+        applyTuneParam(options, key, value);
+      } catch (const FlowError&) {
+        valid = false;
+        break;
+      }
+    }
+    bool grouped = false;
+    if (valid && stages != nullptr) {
+      normalizeOptions(options);
+      const auto keys = computeStageKeys(requests[i].source_, options);
+      const std::uint64_t prefixKey =
+          keys[static_cast<std::size_t>(Stage::Liveness)];
+      if (!stages->contains(prefixKey)) {
+        const auto [it, inserted] =
+            groupOf.emplace(prefixKey, groups.size());
+        if (inserted)
+          groups.emplace_back();
+        groupIndex[i] = it->second;
+        groups[it->second].push_back(i);
+        grouped = true;
+      }
+    }
+    if (!grouped) {
+      // Warm prefix (or ungroupable): no coalescing needed.
+      groupIndex[i] = groups.size();
+      groups.emplace_back();
+      groups.back().push_back(i);
+    }
+  }
+
+  std::vector<Job<CompileResult>> jobs(requests.size());
+  // Leaders first: strict queue order (same priority, earlier sequence)
+  // guarantees a leader is dequeued before any of its followers, so a
+  // follower blocking on leader.wait() always waits on a job that is
+  // already running or done — never on one stuck behind it in the queue.
+  std::vector<Job<CompileResult>> leaderOf(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (groups[g].size() < 2)
+      continue;
+    const std::size_t leaderIndex = groups[g].front();
+    jobs[leaderIndex] = submitCompile(requests[leaderIndex], config);
+    leaderOf[g] = jobs[leaderIndex];
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (jobs[i].valid())
+      continue; // a leader, already submitted
+    const Job<CompileResult> leader = leaderOf[groupIndex[i]];
+    if (!leader.valid()) {
+      jobs[i] = submitCompile(std::move(requests[i]), config);
+      continue;
+    }
+    jobs[i] = submitJob<CompileResult>(
+        config, [this, request = std::move(requests[i]), leader](
+                    const CancelToken& token, std::uint64_t) {
+          // Warm-prefix ordering: let the leader publish the shared
+          // parse..liveness prefix before compiling (its failure or
+          // cancellation just means we compile cold — correctness never
+          // depends on the leader). The wait polls OUR token, so
+          // cancelling this follower is not deferred until the leader
+          // finishes.
+          while (!leader.waitFor(10))
+            if (token.cancelled())
+              throw token.error("while waiting for the batch leader");
+          return compileImpl(request, token);
+        });
+  }
+  return jobs;
 }
 
 Flow Session::compileFlow(const std::string& source, FlowOptions options) {
@@ -282,6 +533,14 @@ Session::Stats Session::stats() const {
     stats.legacyCompiles = legacyCompiles_;
     stats.failedRequests = failedRequests_;
   }
+  {
+    std::lock_guard<std::mutex> lock(jobCounters_->mutex);
+    stats.jobsSubmitted = jobCounters_->submitted;
+    stats.jobsCompleted = jobCounters_->completed;
+    stats.jobsCancelled = jobCounters_->cancelled;
+    stats.jobQueueDepth = jobCounters_->queueDepth;
+    stats.jobsRunning = jobCounters_->running;
+  }
   stats.flowCache = cache_.stats();
   if (const StageCache* stages = cache_.stageCache())
     stats.stageCache = stages->stats();
@@ -300,6 +559,10 @@ std::string Session::statsReport() const {
      << stats.workerThreads
      << (stats.workersStarted ? " workers (started)\n"
                               : " workers (not started)\n");
+  os << "  jobs: " << stats.jobsSubmitted << " submitted / "
+     << stats.jobsCompleted << " completed / " << stats.jobsCancelled
+     << " cancelled (" << stats.jobQueueDepth << " queued, "
+     << stats.jobsRunning << " running)\n";
   os << "  flow cache: " << stats.flowCache.hits << " hits / "
      << stats.flowCache.misses << " misses ("
      << stats.flowCache.inFlightJoins << " in-flight joins, "

@@ -36,11 +36,13 @@
 #pragma once
 
 #include "core/Explorer.h"
+#include "core/Job.h"
 #include "core/Tuner.h"
 #include "core/WorkerPool.h"
 #include "support/Expected.h"
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -295,6 +297,10 @@ struct SessionOptions {
 class Session {
 public:
   explicit Session(SessionOptions options = {});
+  /// Cancels every job still queued, interrupts running ones at their
+  /// next stage checkpoint, waits for all of them to resolve, then
+  /// joins the worker pool. Outstanding Job handles stay valid.
+  ~Session();
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -303,6 +309,33 @@ public:
   Expected<CompileResult> compile(const CompileRequest& request);
   Expected<SweepResult> sweep(const SweepRequest& request);
   Expected<TuningReport> tune(const TuneRequest& request);
+
+  // ---- Asynchronous job API (DESIGN.md §11) ----
+  // Each submit* enqueues the request on the session's priority job
+  // queue and returns immediately; the Job resolves to exactly what the
+  // synchronous call would have returned (plus the cancellation /
+  // deadline outcomes described in core/Job.h). One scheduler arbitrates
+  // everything: sweep and tune jobs fan their per-point compiles into
+  // the same queue at the job's priority.
+  Job<CompileResult> submitCompile(CompileRequest request,
+                                   JobConfig config = {});
+  Job<SweepResult> submitSweep(SweepRequest request, JobConfig config = {});
+  Job<TuningReport> submitTune(TuneRequest request, JobConfig config = {});
+
+  /// Batch submission with stage-prefix coalescing: requests whose
+  /// parse..liveness stage keys match form a group, and when that
+  /// prefix is not already cached, the group's first request (the
+  /// "leader") is enqueued ahead of the others, which wait for it — so
+  /// the shared prefix is computed once and the StageCache is warmed in
+  /// dependency order instead of every worker racing through the same
+  /// cold stages. Returned jobs align with `requests` by index.
+  std::vector<Job<CompileResult>> submitBatch(
+      std::vector<CompileRequest> requests, JobConfig config = {});
+
+  /// Blocks until every job submitted so far has resolved (a barrier —
+  /// it does not cancel anything and new submissions are allowed
+  /// afterwards).
+  void drainJobs();
 
   // ---- Legacy shims (throwing; see the layering note above) ----
   /// Hermetic, uncached compile of exactly (source, options) — the
@@ -332,6 +365,13 @@ public:
     std::int64_t tuneRequests = 0;
     std::int64_t legacyCompiles = 0; ///< compileFlow + compileShared
     std::int64_t failedRequests = 0; ///< requests that returned failure
+    // Job-queue counters (DESIGN.md §11). At quiescence
+    // jobsCompleted + jobsCancelled == jobsSubmitted.
+    std::int64_t jobsSubmitted = 0;
+    std::int64_t jobsCompleted = 0; ///< resolved Done
+    std::int64_t jobsCancelled = 0; ///< cancel(), deadline, or teardown
+    std::int64_t jobQueueDepth = 0; ///< queued, not yet started
+    std::int64_t jobsRunning = 0;
     FlowCache::Stats flowCache;
     StageCache::Stats stageCache; ///< zero-valued when disabled
     int workerThreads = 1;
@@ -351,17 +391,45 @@ private:
       const;
   void countFailure();
 
+  // Request bodies shared by the synchronous API (empty token, Normal
+  // priority) and the job queue (the job's token/priority, so per-point
+  // work inherits them).
+  Expected<CompileResult> compileImpl(const CompileRequest& request,
+                                      const CancelToken& cancel);
+  Expected<SweepResult> sweepImpl(const SweepRequest& request,
+                                  const CancelToken& cancel,
+                                  JobPriority priority, std::uint64_t jobId);
+  Expected<TuningReport> tuneImpl(const TuneRequest& request,
+                                  const CancelToken& cancel,
+                                  JobPriority priority, std::uint64_t jobId);
+
+  /// Creates the job, registers it, and posts a queue task that runs
+  /// `work` under the job's token. Defined in Session.cpp (every
+  /// instantiation lives there).
+  template <typename T>
+  Job<T> submitJob(JobConfig config,
+                   std::function<Expected<T>(const CancelToken&,
+                                             std::uint64_t)> work);
+  std::shared_ptr<detail::JobBase> registerJob(
+      const std::shared_ptr<detail::JobBase>& job);
+  /// Live (unresolved) jobs, registry pruned as a side effect.
+  std::vector<std::shared_ptr<detail::JobBase>> liveJobs();
+
   SessionOptions sessionOptions_;
-  mutable std::mutex mutex_; // guards defaults_ and the counters
+  mutable std::mutex mutex_; // guards defaults_, counters, and jobs_
   FlowOptions defaults_;
   std::int64_t compileRequests_ = 0;
   std::int64_t sweepRequests_ = 0;
   std::int64_t tuneRequests_ = 0;
   std::int64_t legacyCompiles_ = 0;
   std::int64_t failedRequests_ = 0;
+  std::uint64_t nextJobId_ = 0;
+  std::vector<std::weak_ptr<detail::JobBase>> jobs_;
 
+  std::shared_ptr<detail::JobCounters> jobCounters_ =
+      std::make_shared<detail::JobCounters>();
   FlowCache cache_;
-  WorkerPool pool_;
+  WorkerPool pool_; // last member: destroyed (joined) first
 };
 
 } // namespace cfd

@@ -140,6 +140,11 @@ std::size_t StageCache::size() const {
   return entries_.size();
 }
 
+bool StageCache::contains(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(key) != entries_.end();
+}
+
 void StageCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();

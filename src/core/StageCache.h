@@ -108,6 +108,12 @@ public:
   std::size_t size() const;
   void clear();
 
+  /// Side-effect-free probe: true when an entry for `key` is cached
+  /// right now (no hit/miss accounting, no LRU touch). Session batch
+  /// submission uses this to skip leader/follower ordering for groups
+  /// whose shared prefix is already warm (DESIGN.md §11).
+  bool contains(std::uint64_t key) const;
+
 private:
   void evictOverflowLocked();
 

@@ -147,6 +147,9 @@ public:
     explorerOptions.workers = options_.workers;
     explorerOptions.simulateElements = options_.simulateElements;
     explorerOptions.transferStrategy = options_.transferStrategy;
+    explorerOptions.cancelToken = options_.cancelToken;
+    explorerOptions.priority = options_.priority;
+    explorerOptions.jobTag = options_.jobTag;
     const ExplorationResult batch =
         explore(session_, source_, variants, explorerOptions);
     if (report.workers < batch.workers)
@@ -238,6 +241,10 @@ void runHillClimb(TuneRun& run, const TuneSpace& space,
   run.evaluateQueued(report);
 
   for (std::size_t step = 0; step < options.maxSteps; ++step) {
+    // A cancelled tune keeps the points evaluated so far and stops
+    // walking (the submitting job reports the cancellation itself).
+    if (options.cancelToken.cancelled())
+      break;
     // Neighbors differ by one step along one axis. Evaluate the whole
     // neighborhood as one parallel batch, then move greedily.
     std::vector<Combo> neighbors;
@@ -324,6 +331,38 @@ void applyTuneParam(FlowOptions& options, const std::string& key,
                     "' (valid: unroll, m, k, sharing, decoupled, "
                     "objective, layout)");
   }
+}
+
+namespace {
+
+void expandAxisVariantsInto(const std::vector<TuneAxis>& axes,
+                            std::size_t axisIndex, FlowOptions current,
+                            const std::string& label,
+                            std::vector<AxisVariant>& out) {
+  if (axisIndex == axes.size()) {
+    out.push_back(AxisVariant{std::move(current),
+                              label.empty() ? "base" : label});
+    return;
+  }
+  const TuneAxis& axis = axes[axisIndex];
+  for (const std::string& value : axis.values) {
+    FlowOptions next = current;
+    applyTuneParam(next, axis.key, value);
+    expandAxisVariantsInto(axes, axisIndex + 1, std::move(next),
+                           label.empty()
+                               ? axis.key + "=" + value
+                               : label + " " + axis.key + "=" + value,
+                           out);
+  }
+}
+
+} // namespace
+
+std::vector<AxisVariant> expandAxisVariants(
+    const std::vector<TuneAxis>& axes, const FlowOptions& base) {
+  std::vector<AxisVariant> variants;
+  expandAxisVariantsInto(axes, 0, base, "", variants);
+  return variants;
 }
 
 std::string checkStructuralFeasibility(const FlowOptions& options) {

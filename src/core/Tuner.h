@@ -59,6 +59,21 @@ TuneSpace defaultTuneSpace();
 void applyTuneParam(FlowOptions& options, const std::string& key,
                     const std::string& value);
 
+/// One point of an axis cross product, with its human-readable
+/// "key=value key=value" label in axis order ("base" for the empty
+/// product).
+struct AxisVariant {
+  FlowOptions options;
+  std::string label;
+};
+
+/// Expands the cross product of `axes` over `base`, in declaration
+/// order — the single expansion shared by SweepRequest and the cfdc
+/// --async-jobs sweep (labels and variant order must stay in lockstep
+/// between them). Throws FlowError on an invalid key or value.
+std::vector<AxisVariant> expandAxisVariants(
+    const std::vector<TuneAxis>& axes, const FlowOptions& base);
+
 /// Checks the m/k constraints that system generation enforces (paper
 /// §V-B: k <= m, m a power-of-two multiple of k) without compiling.
 /// Returns the infeasibility reason, or "" when the point may be
@@ -94,6 +109,17 @@ struct TunerOptions {
   int workers = 0;
   std::int64_t simulateElements = 0;
   sim::TransferStrategy transferStrategy = sim::TransferStrategy::Blocking;
+  /// Cooperative cancellation (DESIGN.md §11): checked between
+  /// evaluation batches (and per row / per pipeline stage inside them).
+  /// A direct tune() caller arming its own token gets the partial
+  /// report built so far; through Session::submitTune the job wrapper
+  /// instead resolves the job as Cancelled with a "job-queue"
+  /// diagnostic (core/Job.h) and the partial report is discarded.
+  CancelToken cancelToken;
+  /// Queue priority of the per-point batches (WorkerPool::kPriority*).
+  int priority = WorkerPool::kPriorityNormal;
+  /// Diagnostic tag for the pool queue (the submitting job's id, or 0).
+  std::uint64_t jobTag = 0;
 };
 
 /// One evaluated point of the space.

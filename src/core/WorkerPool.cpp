@@ -16,21 +16,32 @@ int resolveThreads(int threads) {
 
 } // namespace
 
-/// One parallelFor call in flight. Pool threads claim indices from
-/// `next` alongside the caller; `done` (guarded by `m`) counts finished
-/// indices so the caller knows when the batch drained even though other
-/// threads may still be inside body(i) when the cursor runs out.
+/// One queue entry: a parallelFor call in flight, or a posted task
+/// (jobs = 1, detached = true, nobody waits on `drained`). Pool threads
+/// claim indices from `next` alongside the caller; `done` (guarded by
+/// `m`) counts finished indices so a parallelFor caller knows when the
+/// batch drained even though other threads may still be inside body(i)
+/// when the cursor runs out.
 struct WorkerPool::Batch {
   std::size_t jobs = 0;
   int maxExtra = 0; // pool threads allowed to join (caller not counted)
   int extra = 0;    // pool threads that joined; guarded by the pool mutex
+  int priority = kPriorityNormal;
+  std::uint64_t seq = 0; // submission order, ties within a priority
+  std::uint64_t tag = 0; // job id or 0 (diagnostics)
+  bool detached = false; // posted task: no caller participates or waits
   std::function<void(std::size_t)> body;
   std::atomic<std::size_t> next{0};
 
   std::mutex m;
   std::condition_variable drained;
-  std::size_t done = 0;              // guarded by m
-  std::exception_ptr error;          // first body exception; guarded by m
+  std::size_t done = 0;     // guarded by m
+  std::exception_ptr error; // first body exception; guarded by m
+
+  bool exhausted() const {
+    return next.load(std::memory_order_relaxed) >= jobs;
+  }
+  bool claimable() const { return !exhausted() && extra < maxExtra; }
 };
 
 WorkerPool::WorkerPool(int threads) : threadCount_(resolveThreads(threads)) {}
@@ -50,14 +61,62 @@ bool WorkerPool::started() const {
   return started_;
 }
 
-void WorkerPool::ensureStartedLocked() {
-  if (started_)
-    return;
-  started_ = true;
-  const int poolThreads = threadCount_ - 1;
-  threads_.reserve(static_cast<std::size_t>(poolThreads));
-  for (int i = 0; i < poolThreads; ++i)
-    threads_.emplace_back([this] { workerLoop(); });
+std::size_t WorkerPool::pendingTasks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t pending = 0;
+  for (const auto& batch : queue_)
+    if (batch->detached && batch->claimable())
+      ++pending;
+  return pending;
+}
+
+void WorkerPool::ensureStartedLocked(bool needPoolThread) {
+  if (!started_) {
+    started_ = true;
+    const int poolThreads = threadCount_ - 1;
+    threads_.reserve(static_cast<std::size_t>(std::max(poolThreads, 1)));
+    for (int i = 0; i < poolThreads; ++i)
+      threads_.emplace_back([this] { workerLoop(); });
+  }
+  // Posted tasks never run on the caller, so the first post() tops the
+  // pool up to threadCount() full threads — otherwise an async-only
+  // client would get threadCount() - 1 of the parallelism it asked for
+  // while its own thread blocks in wait(). Job bodies that call
+  // parallelFor are pool threads themselves, so the caller-inclusive
+  // accounting stays correct for nested batches; only an application
+  // thread mixing synchronous parallelFor with async jobs can briefly
+  // oversubscribe by one.
+  if (needPoolThread)
+    while (threads_.size() < static_cast<std::size_t>(threadCount_))
+      threads_.emplace_back([this] { workerLoop(); });
+}
+
+void WorkerPool::enqueueLocked(const std::shared_ptr<Batch>& batch) {
+  batch->seq = ++nextSeq_;
+  // Insert before the first strictly lower priority: descending
+  // priority, FIFO within one (entries arrive in seq order).
+  auto it = std::find_if(queue_.begin(), queue_.end(),
+                         [&](const std::shared_ptr<Batch>& queued) {
+                           return queued->priority < batch->priority;
+                         });
+  queue_.insert(it, batch);
+}
+
+std::deque<std::shared_ptr<WorkerPool::Batch>>::iterator
+WorkerPool::claimableLocked() {
+  auto it = queue_.begin();
+  while (it != queue_.end()) {
+    if ((*it)->exhausted()) {
+      // Fully claimed: retire it (a parallelFor caller also erases its
+      // own batch, so this is only the late-wake cleanup path).
+      it = queue_.erase(it);
+      continue;
+    }
+    if ((*it)->claimable())
+      return it;
+    ++it;
+  }
+  return queue_.end();
 }
 
 void WorkerPool::runBatch(Batch& batch) {
@@ -80,21 +139,21 @@ void WorkerPool::runBatch(Batch& batch) {
 void WorkerPool::workerLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    wakeWorkers_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-    if (stop_)
-      return;
-    const std::shared_ptr<Batch> batch = queue_.front();
-    const bool exhausted =
-        batch->next.load(std::memory_order_relaxed) >= batch->jobs;
-    if (exhausted || batch->extra >= batch->maxExtra) {
-      // Nothing left to claim (or the batch is at its concurrency cap):
-      // retire it from the queue and look again.
-      queue_.pop_front();
+    wakeWorkers_.wait(lock, [this] {
+      return stop_ || claimableLocked() != queue_.end();
+    });
+    const auto it = claimableLocked();
+    if (it == queue_.end()) {
+      // Graceful drain: exit only once no claimable work remains; work
+      // queued before (or during) destruction still executes.
+      if (stop_)
+        return;
       continue;
     }
+    const std::shared_ptr<Batch> batch = *it;
     ++batch->extra;
-    if (batch->extra >= batch->maxExtra)
-      queue_.pop_front(); // full crew: stop offering it to other workers
+    if (!batch->claimable())
+      queue_.erase(it); // full crew: stop offering it to other workers
     lock.unlock();
     runBatch(*batch);
     lock.lock();
@@ -103,6 +162,12 @@ void WorkerPool::workerLoop() {
 
 void WorkerPool::parallelFor(std::size_t jobs, int maxWorkers,
                              const std::function<void(std::size_t)>& body) {
+  parallelFor(jobs, maxWorkers, body, kPriorityNormal, 0);
+}
+
+void WorkerPool::parallelFor(std::size_t jobs, int maxWorkers,
+                             const std::function<void(std::size_t)>& body,
+                             int priority, std::uint64_t tag) {
   if (jobs == 0)
     return;
   int participants = threadCount_;
@@ -115,13 +180,15 @@ void WorkerPool::parallelFor(std::size_t jobs, int maxWorkers,
   const auto batch = std::make_shared<Batch>();
   batch->jobs = jobs;
   batch->maxExtra = participants - 1;
+  batch->priority = priority;
+  batch->tag = tag;
   batch->body = body;
 
   if (batch->maxExtra > 0) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      ensureStartedLocked();
-      queue_.push_back(batch);
+      ensureStartedLocked(/*needPoolThread=*/false);
+      enqueueLocked(batch);
     }
     wakeWorkers_.notify_all();
   }
@@ -143,6 +210,28 @@ void WorkerPool::parallelFor(std::size_t jobs, int maxWorkers,
   }
   if (batch->error)
     std::rethrow_exception(batch->error);
+}
+
+void WorkerPool::post(std::function<void()> task, int priority,
+                      std::uint64_t tag) {
+  const auto batch = std::make_shared<Batch>();
+  batch->jobs = 1;
+  batch->maxExtra = 1;
+  batch->priority = priority;
+  batch->tag = tag;
+  batch->detached = true;
+  batch->body = [task = std::move(task)](std::size_t) { task(); };
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ensureStartedLocked(/*needPoolThread=*/true);
+    enqueueLocked(batch);
+  }
+  // Exactly one worker can claim a detached task, so waking one parked
+  // thread suffices — notify_all here would stampede every worker
+  // through the O(queue) claimable scan on each submission. A lost
+  // notify (no thread parked) is safe: busy workers rescan the queue
+  // whenever they finish their current batch.
+  wakeWorkers_.notify_one();
 }
 
 } // namespace cfd

@@ -1,28 +1,39 @@
-// Lazily started worker-thread pool (DESIGN.md §10).
+// Lazily started worker-thread pool with one priority-ordered work
+// queue (DESIGN.md §10, §11).
 //
 // Explorer and Tuner used to spawn (and join) a fresh set of
 // std::threads on every call; a long-lived Session amortizes that by
-// owning one WorkerPool. Threads start on the first parallelFor that
-// can actually use them and live until the pool is destroyed, parked on
-// a condition variable in between.
+// owning one WorkerPool. Threads start on the first work that can
+// actually use them and live until the pool is destroyed, parked on a
+// condition variable in between.
 //
-// The execution model is a capped parallel-for over an atomic cursor —
-// the same work-stealing shape the Explorer used, so sweep results stay
-// deterministic and independent of the worker count:
+// The pool schedules two kinds of work through ONE queue, so a single
+// scheduler arbitrates everything a Session runs concurrently:
 //
-//  * the calling thread always participates (correctness never depends
-//    on pool threads being available — a pool of size 1 runs everything
-//    on the caller);
-//  * at most `maxWorkers - 1` pool threads join the caller, so
-//    concurrent batches from different application threads share the
-//    pool fairly instead of oversubscribing the machine;
-//  * bodies that throw do not tear down the pool: the first exception is
-//    captured and rethrown on the calling thread after the batch drains
-//    (Explorer bodies catch per-row errors themselves and never throw).
+//  * parallelFor batches — a capped parallel-for over an atomic cursor
+//    (the work-stealing shape the Explorer uses). The calling thread
+//    always participates, so correctness never depends on pool threads
+//    being available, and a batch body may itself call parallelFor
+//    (sweep jobs executing on pool threads do exactly that);
+//  * posted tasks (post()) — detached single-shot tasks, the backing of
+//    the Session job queue. They run on pool threads only; the first
+//    post() tops the pool up to threadCount() full threads, so async
+//    work gets the parallelism the pool was sized for (and a pool of
+//    size 1 still progresses) while the owner thread blocks in wait().
+//
+// Queue order is strict (priority descending, submission order within a
+// priority); pool threads always claim from the best eligible entry.
+// The caller of a parallelFor is the one exception: it works on its own
+// batch regardless of what else is queued.
+//
+// Destruction drains gracefully: queued work is still executed (posted
+// tasks observe their job's cancellation token and short-circuit when
+// the owner cancelled them first), then the threads are joined.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -34,9 +45,18 @@ namespace cfd {
 
 class WorkerPool {
 public:
+  /// Queue priorities (higher runs first; ties resolve in submission
+  /// order). Mirrors cfd::JobPriority (core/Job.h).
+  static constexpr int kPriorityLow = 0;
+  static constexpr int kPriorityNormal = 1;
+  static constexpr int kPriorityHigh = 2;
+
   /// `threads` = total parallelism including the calling thread
   /// (0 = std::thread::hardware_concurrency, at least 1). The pool
-  /// itself owns `threads - 1` std::threads, started lazily.
+  /// itself owns `threads - 1` std::threads, started lazily — until
+  /// the first post(), which tops the pool up to `threads` full
+  /// threads, because posted tasks never run on the caller and an
+  /// async client's own thread typically just blocks in wait().
   explicit WorkerPool(int threads = 0);
   ~WorkerPool();
 
@@ -52,14 +72,36 @@ public:
   /// min(maxWorkers, threadCount()) - 1 pool threads (maxWorkers <= 0 =
   /// no per-call cap). Blocks until every index completed; rethrows the
   /// first exception a body threw. Safe to call from multiple threads
-  /// concurrently; must not be called from inside a body.
+  /// concurrently and from inside a batch body or posted task (the
+  /// caller always participates, so nesting cannot deadlock).
   void parallelFor(std::size_t jobs, int maxWorkers,
                    const std::function<void(std::size_t)>& body);
+  /// Priority-scheduled variant: the batch competes in the shared
+  /// queue at `priority`, and `tag` labels it (the Session stamps the
+  /// job id) for diagnostics.
+  void parallelFor(std::size_t jobs, int maxWorkers,
+                   const std::function<void(std::size_t)>& body,
+                   int priority, std::uint64_t tag);
+
+  /// Enqueues a detached single-shot task at `priority`. The task runs
+  /// exactly once, on a pool thread (never the caller). Tasks must not
+  /// throw: an escaping exception is captured and dropped (Session job
+  /// bodies resolve their job with a failure instead of throwing).
+  void post(std::function<void()> task, int priority = kPriorityNormal,
+            std::uint64_t tag = 0);
+
+  /// Posted tasks that are queued but not yet claimed by a worker
+  /// (diagnostics; the Session job counters are the richer view).
+  std::size_t pendingTasks() const;
 
 private:
   struct Batch;
 
-  void ensureStartedLocked();
+  void ensureStartedLocked(bool needPoolThread);
+  void enqueueLocked(const std::shared_ptr<Batch>& batch);
+  /// Best claimable queue entry (priority order), or queue_.end().
+  /// Retires exhausted entries encountered during the scan.
+  std::deque<std::shared_ptr<Batch>>::iterator claimableLocked();
   void workerLoop();
   static void runBatch(Batch& batch);
 
@@ -67,7 +109,9 @@ private:
   mutable std::mutex mutex_;
   std::condition_variable wakeWorkers_;
   std::vector<std::thread> threads_;
+  /// Priority-ordered (descending priority, ascending seq within one).
   std::deque<std::shared_ptr<Batch>> queue_;
+  std::uint64_t nextSeq_ = 0;
   bool started_ = false;
   bool stop_ = false;
 };

@@ -1,0 +1,127 @@
+// Cooperative cancellation for the async job layer (DESIGN.md §11).
+//
+// A CancelSource owns a cancellation flag plus an optional deadline; the
+// CancelTokens it hands out are cheap shared views that long-running
+// work polls at natural boundaries. The flow never interrupts a running
+// pass: core/Pipeline checks its token *between* stages, so a cancelled
+// compile stops within one stage boundary and every stage that already
+// ran has been published to the StageCache — a later identical compile
+// resumes from that prefix instead of starting cold.
+//
+// Observing a cancelled token at a checkpoint raises CancelledError, a
+// FlowError subclass: legacy catch (FlowError&) sites treat it as a
+// failed compile, while the job layer (core/Session.h) catches it first
+// and resolves the job as Cancelled instead of Done.
+#pragma once
+
+#include "support/Error.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace cfd {
+
+/// Raised when a cancellation checkpoint observes a cancelled token.
+class CancelledError : public FlowError {
+public:
+  explicit CancelledError(const std::string& what,
+                          bool deadlineExpired = false)
+      : FlowError(what), deadlineExpired_(deadlineExpired) {}
+
+  /// True when the cancellation came from a deadline rather than an
+  /// explicit cancel().
+  bool deadlineExpired() const { return deadlineExpired_; }
+
+private:
+  bool deadlineExpired_ = false;
+};
+
+namespace detail {
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+  // The deadline is configured once, before the token is shared (the
+  // publishing of the shared_ptr provides the happens-before edge), and
+  // is immutable afterwards — so plain members suffice.
+  bool hasDeadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+};
+} // namespace detail
+
+/// A shared, read-only view of a CancelSource. Default-constructed
+/// tokens are empty: they never report cancellation, so APIs can take a
+/// CancelToken by value and treat "no token" and "token that never
+/// fires" identically.
+class CancelToken {
+public:
+  CancelToken() = default;
+
+  /// True when this token is connected to a CancelSource.
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once cancel() was called on the source or the deadline passed.
+  bool cancelled() const {
+    if (state_ == nullptr)
+      return false;
+    if (state_->cancelled.load(std::memory_order_acquire))
+      return true;
+    return deadlineExpired();
+  }
+
+  /// True when the cancellation (also) comes from an expired deadline.
+  bool deadlineExpired() const {
+    return state_ != nullptr && state_->hasDeadline &&
+           std::chrono::steady_clock::now() >= state_->deadline;
+  }
+
+  /// Why the token reports cancellation: an explicit cancel() wins over
+  /// a deadline so the caller's intent is what gets reported.
+  const char* reason() const {
+    if (state_ != nullptr && state_->cancelled.load(std::memory_order_acquire))
+      return "job cancelled";
+    return "deadline exceeded";
+  }
+
+  /// The error a checkpoint should raise; `context` names where the
+  /// cancellation was observed ("before stage 'hls'", ...).
+  CancelledError error(const std::string& context) const {
+    const bool byDeadline =
+        state_ != nullptr &&
+        !state_->cancelled.load(std::memory_order_acquire) &&
+        deadlineExpired();
+    return CancelledError(std::string(reason()) + " " + context, byDeadline);
+  }
+
+private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<detail::CancelState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+/// The owning side: cancel() flips the shared flag; setDeadline() arms
+/// a wall-clock budget. Configure the deadline before sharing tokens.
+class CancelSource {
+public:
+  CancelSource() : state_(std::make_shared<detail::CancelState>()) {}
+
+  void cancel() { state_->cancelled.store(true, std::memory_order_release); }
+  bool cancelRequested() const {
+    return state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  void setDeadline(std::chrono::steady_clock::time_point deadline) {
+    state_->hasDeadline = true;
+    state_->deadline = deadline;
+  }
+
+  CancelToken token() const { return CancelToken(state_); }
+
+private:
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+} // namespace cfd

@@ -46,6 +46,16 @@ public:
     return expected;
   }
 
+  /// Failure carrying a single service-level error diagnostic (no
+  /// source location). The async job layer uses this with stage
+  /// "job-queue" for cancellations, deadline expiries, and internal
+  /// failures that never reached the pipeline.
+  static Expected failure(std::string message, std::string stage) {
+    DiagnosticList diagnostics;
+    diagnostics.error({}, std::move(message), std::move(stage));
+    return failure(std::move(diagnostics));
+  }
+
   bool ok() const { return value_.has_value(); }
   explicit operator bool() const { return ok(); }
 

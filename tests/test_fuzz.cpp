@@ -8,6 +8,7 @@
 // layout materialization, rescheduling, or sharing shows up here as a
 // numeric mismatch.
 #include "core/Flow.h"
+#include "core/Session.h"
 #include "mem/Dataflow.h"
 
 #include <gtest/gtest.h>
@@ -215,6 +216,120 @@ TEST_P(FuzzPipeline, RandomProgramValidates) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline, ::testing::Range(1, 33));
+
+// Randomized interleavings of the job-queue state machine (DESIGN.md
+// §11): submit / cancel / wait / poll in a seed-reproducible order
+// against one session, then assert the invariants that must hold for
+// EVERY interleaving — each handle resolves to a legal terminal state
+// with a result matching that state, and the session counters balance.
+class FuzzJobQueue : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzJobQueue, RandomSubmitCancelWaitInterleavingStaysConsistent) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ull);
+  const auto pick = [&rng](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+
+  Session session(SessionOptions{.workers = 2});
+  // A fixed palette of sources/options keeps compiles cheap (cache
+  // reuse) while still mixing distinct pipeline shapes — including a
+  // malformed source, so cancellations race ordinary failures too.
+  const std::string sources[] = {
+      "var input A : [4 4]\nvar input B : [4 4]\nvar output C : [4 4]\n"
+      "C = A # B . [[1 2]]\n",
+      "var input A : [3 3]\nvar output B : [3 3]\nB = (A * 2 + 1)\n",
+      "this is not a program\n",
+  };
+  std::vector<Job<CompileResult>> jobs;
+  int cancelsIssued = 0;
+  for (int step = 0; step < 120; ++step) {
+    switch (pick(0, 9)) {
+    case 0:
+    case 1:
+    case 2:
+    case 3:
+    case 4: { // submit (half the operations keep the queue busy)
+      CompileRequest request(sources[pick(0, 2)]);
+      FlowOptions options;
+      options.hls.unrollFactor = 1 << pick(0, 2);
+      options.memory.enableSharing = pick(0, 1) == 1;
+      request.options(options);
+      JobConfig config;
+      config.priority = static_cast<JobPriority>(pick(0, 2));
+      if (pick(0, 7) == 0)
+        config.deadlineMillis = pick(1, 3); // occasionally tight
+      jobs.push_back(session.submitCompile(std::move(request), config));
+      break;
+    }
+    case 5:
+    case 6: { // cancel a random live handle
+      if (jobs.empty())
+        break;
+      if (jobs[static_cast<std::size_t>(
+                   pick(0, static_cast<int>(jobs.size()) - 1))]
+              .cancel())
+        ++cancelsIssued;
+      break;
+    }
+    case 7: { // wait on a random handle (blocking join mid-stream)
+      if (jobs.empty())
+        break;
+      const auto& job = jobs[static_cast<std::size_t>(
+          pick(0, static_cast<int>(jobs.size()) - 1))];
+      job.wait();
+      EXPECT_TRUE(job.poll());
+      break;
+    }
+    default: { // poll/state are always safe, resolved or not
+      if (jobs.empty())
+        break;
+      const auto& job = jobs[static_cast<std::size_t>(
+          pick(0, static_cast<int>(jobs.size()) - 1))];
+      const JobState state = job.state();
+      if (job.poll())
+        EXPECT_TRUE(state == JobState::Done ||
+                    state == JobState::Cancelled);
+      break;
+    }
+    }
+  }
+  session.drainJobs();
+
+  std::int64_t done = 0;
+  std::int64_t cancelled = 0;
+  for (const Job<CompileResult>& job : jobs) {
+    ASSERT_TRUE(job.poll());
+    const Expected<CompileResult>& result = job.wait();
+    if (job.state() == JobState::Done) {
+      // Done covers both outcomes of work that ran to completion: a
+      // success, or an ordinary failure with its own diagnostics (the
+      // malformed palette entry parse-fails here).
+      ++done;
+      if (!result.ok())
+        ASSERT_GE(result.diagnostics().size(), 1u) << "empty failure";
+    } else {
+      // Cancelled ALWAYS carries the job-queue diagnostic — even when
+      // the cancellation raced work that produced its own failure.
+      ASSERT_EQ(job.state(), JobState::Cancelled);
+      ++cancelled;
+      ASSERT_FALSE(result.ok());
+      EXPECT_EQ(result.diagnostics()[0].stage, "job-queue");
+    }
+  }
+  const Session::Stats stats = session.stats();
+  EXPECT_EQ(stats.jobsSubmitted, static_cast<std::int64_t>(jobs.size()));
+  EXPECT_EQ(stats.jobsCompleted, done);
+  EXPECT_EQ(stats.jobsCancelled, cancelled);
+  EXPECT_EQ(stats.jobQueueDepth, 0);
+  EXPECT_EQ(stats.jobsRunning, 0);
+  // cancelsIssued only documents that the run exercised cancellation;
+  // it is no bound on `cancelled` (deadline expiries cancel too) nor a
+  // floor (a cancel accepted against a Running job may lose the race).
+  (void)cancelsIssued;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzJobQueue, ::testing::Range(1, 9));
 
 } // namespace
 } // namespace cfd

@@ -19,7 +19,9 @@ TEST(SessionTest, ConcurrentCompilesShareTheStageCache) {
   Session session;
   // Warm the parse..memory-plan prefix once, so every concurrent
   // HLS-only variant below can adopt it (the acceptance hammer for the
-  // TSan CI job: ≥8 threads against one session).
+  // TSan CI job: ≥8 threads against one session). Each thread drives
+  // its compile through the async job queue — both the submission path
+  // and the synchronous wait run concurrently against shared state.
   ASSERT_TRUE(session.compile(CompileRequest(test::kInverseHelmholtz)).ok());
 
   constexpr int kThreads = 8;
@@ -32,8 +34,11 @@ TEST(SessionTest, ConcurrentCompilesShareTheStageCache) {
       FlowOptions options;
       options.hls.clockMHz = 120.0 + 10.0 * t; // distinct per thread
       request.options(options);
-      const Expected<CompileResult> result = session.compile(request);
-      if (!result.ok() || result->flow().systemDesign().m <= 0)
+      const Job<CompileResult> job =
+          session.submitCompile(std::move(request));
+      const Expected<CompileResult>& result = job.wait();
+      if (!result.ok() || result->flow().systemDesign().m <= 0 ||
+          job.state() != JobState::Done)
         ++failures;
     });
   for (std::thread& thread : threads)
@@ -42,6 +47,14 @@ TEST(SessionTest, ConcurrentCompilesShareTheStageCache) {
 
   const Session::Stats stats = session.stats();
   EXPECT_EQ(stats.compileRequests, kThreads + 1);
+  // Job accounting must be consistent, not just the hit rates: nothing
+  // was cancelled, so completed = submitted - cancelled = all of them,
+  // and nothing may linger in the queue after every handle resolved.
+  EXPECT_EQ(stats.jobsSubmitted, kThreads);
+  EXPECT_EQ(stats.jobsCancelled, 0);
+  EXPECT_EQ(stats.jobsCompleted, stats.jobsSubmitted - stats.jobsCancelled);
+  EXPECT_EQ(stats.jobQueueDepth, 0);
+  EXPECT_EQ(stats.jobsRunning, 0);
   // Every thread compiled a distinct configuration, so the whole-flow
   // cache cannot have served them — the stage cache must have: each
   // variant adopts the warmed parse..memory-plan prefix.

@@ -15,8 +15,15 @@
 //    random, hill-climb), score pluggable objectives, and report the
 //    Pareto frontier as a table and/or a JSON report (DESIGN.md §7-§8).
 //
+// --async-jobs=N drives --sweep/--tune through the session's async job
+// queue (DESIGN.md §11): a sweep becomes one batch of per-variant
+// compile jobs (stage-prefix coalesced), a tune becomes one tune job,
+// and --deadline-ms bounds each job's wall clock.
+//
 // Exit codes: 0 success, 1 I/O or validation failure, 2 usage error,
-// 3 compile diagnostics (malformed DSL, infeasible constraints).
+// 3 compile diagnostics (malformed DSL, infeasible constraints) — a
+// cancelled or deadline-expired async run also exits 3, with the
+// "job-queue" diagnostic reported the same way.
 //
 // Run `cfdc --help` for the full flag reference.
 #include "core/Session.h"
@@ -25,6 +32,7 @@
 #include "support/Json.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -53,6 +61,10 @@ struct CliOptions {
   std::vector<SweepAxis> sweeps;
   bool jobsExplicit = false;
   int jobs = 0;
+  bool asyncJobsExplicit = false;
+  int asyncJobs = 0;
+  bool deadlineMsExplicit = false;
+  int deadlineMs = 0;
   bool explainCache = false;
   bool stageCacheMbExplicit = false;
   int stageCacheMb = 0;
@@ -101,6 +113,17 @@ Design-space search:
                            decoupled|objective|layout
   --jobs=N                 worker threads for --sweep/--tune (0 = auto);
                            an error without one of those modes
+  --async-jobs=N           drive --sweep/--tune through the session's
+                           async job queue (DESIGN.md §11) with an
+                           N-worker pool (0 = auto): a sweep submits
+                           one prioritized compile job per variant
+                           (batch-coalesced so shared stage prefixes
+                           are warmed once), a tune runs as one job.
+                           Mutually exclusive with --jobs
+  --deadline-ms=N          per-job deadline for --async-jobs runs; an
+                           expired job is cancelled cooperatively and
+                           reported as a "job-queue" diagnostic (the
+                           run exits 3)
   --explain-cache          add a per-row "resumed" column to --sweep/
                            --tune tables: the first pipeline stage that
                            actually ran for that point ("flow-cache" =
@@ -129,7 +152,8 @@ stdout and -o writes it to a file; --simulate=Ne makes the latency
 objective include AXI transfer costs.
 
 Exit codes: 0 success; 1 I/O or validation failure; 2 usage error;
-3 compile diagnostics (malformed DSL, infeasible constraints).
+3 compile diagnostics (malformed DSL, infeasible constraints; also a
+cancelled or deadline-expired --async-jobs run).
 )";
   std::exit(error.empty() ? 0 : 2);
 }
@@ -233,6 +257,12 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
     } else if (consumeValue(arg, "--jobs=", value)) {
       options.jobs = parseNonNegativeInt(value, "--jobs");
       options.jobsExplicit = true;
+    } else if (consumeValue(arg, "--async-jobs=", value)) {
+      options.asyncJobs = parseNonNegativeInt(value, "--async-jobs");
+      options.asyncJobsExplicit = true;
+    } else if (consumeValue(arg, "--deadline-ms=", value)) {
+      options.deadlineMs = parseNonNegativeInt(value, "--deadline-ms");
+      options.deadlineMsExplicit = true;
     } else if (arg == "--explain-cache") {
       options.explainCache = true;
     } else if (consumeValue(arg, "--stage-cache-mb=", value)) {
@@ -300,6 +330,9 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
     if (options.jobsExplicit && options.sweeps.empty())
       usage("--jobs only applies to --sweep/--tune (single-shot compiles "
             "run on one thread)");
+    if (options.asyncJobsExplicit && options.sweeps.empty())
+      usage("--async-jobs only applies to --sweep/--tune (a single-shot "
+            "compile has nothing to queue)");
     if (options.explainCache && options.sweeps.empty())
       usage("--explain-cache only applies to --sweep/--tune (a single-shot "
             "compile has no cache to explain)");
@@ -310,6 +343,12 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
   if (options.diagnosticsJson && (options.tune || !options.sweeps.empty()))
     usage("--diagnostics=json only applies to single-shot compiles "
           "(sweep/tune report per-point errors in their own output)");
+  if (options.jobsExplicit && options.asyncJobsExplicit)
+    usage("--jobs and --async-jobs are mutually exclusive (both size the "
+          "worker pool)");
+  if (options.deadlineMsExplicit && !options.asyncJobsExplicit)
+    usage("--deadline-ms requires --async-jobs (only queued jobs carry a "
+          "deadline)");
   return options;
 }
 
@@ -349,6 +388,49 @@ int reportDiagnostics(const cfd::DiagnosticList& diagnostics,
   return kExitDiagnostics;
 }
 
+/// Shared --sweep table pieces for the synchronous Explorer path and
+/// the --async-jobs path — one flag apart, their tables must never
+/// drift.
+void printSweepTableHeader(std::size_t labelWidth,
+                           const CliOptions& options) {
+  std::cout << "  " << cfd::padRight("variant", labelWidth)
+            << cfd::padLeft("m", 5) << cfd::padLeft("k", 5)
+            << cfd::padLeft("BRAM/PLM", 10) << cfd::padLeft("kernel us", 11);
+  if (options.simulateElements > 0)
+    std::cout << cfd::padLeft("total ms", 10)
+              << cfd::padLeft("elements/s", 12);
+  std::cout << cfd::padLeft("cache", 7);
+  if (options.explainCache)
+    std::cout << cfd::padLeft("resumed", 12);
+  std::cout << "\n";
+}
+
+/// Everything after the label of one feasible row; `sim` is read only
+/// when `simulated`.
+void printSweepRowBody(const CliOptions& options, const cfd::Flow& flow,
+                       bool simulated, const cfd::sim::SimResult& sim,
+                       bool cacheHit, const std::string& resumed) {
+  using cfd::formatFixed;
+  using cfd::padLeft;
+
+  const auto& design = flow.systemDesign();
+  std::cout << padLeft(std::to_string(design.m), 5)
+            << padLeft(std::to_string(design.k), 5)
+            << padLeft(std::to_string(design.plmBram36PerUnit), 10)
+            << padLeft(formatFixed(flow.kernelReport().timeUs(), 1), 11);
+  if (simulated) {
+    const double elementsPerSecond =
+        static_cast<double>(options.simulateElements) /
+        (sim.totalTimeUs() / 1e6);
+    std::cout << padLeft(formatFixed(sim.totalTimeUs() / 1e3, 1), 10)
+              << padLeft(formatFixed(elementsPerSecond, 0), 12);
+  }
+  std::cout << padLeft(cacheHit ? "hit" : "miss", 7);
+  if (options.explainCache)
+    std::cout << padLeft(resumed, 12);
+  std::cout << "\n";
+}
+
 int runSweep(const CliOptions& options, cfd::Session& session,
              const std::string& source) {
   using cfd::formatFixed;
@@ -378,15 +460,7 @@ int runSweep(const CliOptions& options, cfd::Session& session,
   for (const std::string& label : labels)
     labelWidth = std::max(labelWidth, label.size() + 2);
 
-  std::cout << "  " << padRight("variant", labelWidth)
-            << padLeft("m", 5) << padLeft("k", 5)
-            << padLeft("BRAM/PLM", 10) << padLeft("kernel us", 11);
-  if (options.simulateElements > 0)
-    std::cout << padLeft("total ms", 10) << padLeft("elements/s", 12);
-  std::cout << padLeft("cache", 7);
-  if (options.explainCache)
-    std::cout << padLeft("resumed", 12);
-  std::cout << "\n";
+  printSweepTableHeader(labelWidth, options);
   for (std::size_t i = 0; i < result.rows.size(); ++i) {
     const cfd::ExplorationRow& row = result.rows[i];
     std::cout << "  " << padRight(labels[i], labelWidth);
@@ -394,23 +468,8 @@ int runSweep(const CliOptions& options, cfd::Session& session,
       std::cout << "infeasible: " << row.error << "\n";
       continue;
     }
-    const auto& design = row.flow->systemDesign();
-    std::cout << padLeft(std::to_string(design.m), 5)
-              << padLeft(std::to_string(design.k), 5)
-              << padLeft(std::to_string(design.plmBram36PerUnit), 10)
-              << padLeft(formatFixed(row.flow->kernelReport().timeUs(), 1),
-                         11);
-    if (row.simulated) {
-      const double elementsPerSecond =
-          static_cast<double>(options.simulateElements) /
-          (row.sim.totalTimeUs() / 1e6);
-      std::cout << padLeft(formatFixed(row.sim.totalTimeUs() / 1e3, 1), 10)
-                << padLeft(formatFixed(elementsPerSecond, 0), 12);
-    }
-    std::cout << padLeft(row.cacheHit ? "hit" : "miss", 7);
-    if (options.explainCache)
-      std::cout << padLeft(row.resumedFrom, 12);
-    std::cout << "\n";
+    printSweepRowBody(options, *row.flow, row.simulated, row.sim,
+                      row.cacheHit, row.resumedFrom);
   }
   std::cout << "  " << result.rows.size() << " variants ("
             << result.feasibleCount() << " feasible, "
@@ -419,6 +478,100 @@ int runSweep(const CliOptions& options, cfd::Session& session,
             << formatFixed(result.wallMillis, 1) << " ms\n";
   printSessionSummary(session, result.stagesAdoptedTotal());
   return 0;
+}
+
+/// The declared --sweep axes as core TuneAxis values, for the shared
+/// cross-product expansion (cfd::expandAxisVariants) that keeps async
+/// job labels in lockstep with SweepRequest's ordering.
+std::vector<cfd::TuneAxis> tuneAxesFrom(const std::vector<SweepAxis>& axes) {
+  std::vector<cfd::TuneAxis> tuneAxes;
+  tuneAxes.reserve(axes.size());
+  for (const SweepAxis& axis : axes)
+    tuneAxes.push_back(cfd::TuneAxis{axis.key, axis.values});
+  return tuneAxes;
+}
+
+/// --sweep with --async-jobs: one prioritized compile job per variant,
+/// submitted as a coalesced batch (DESIGN.md §11) and awaited in
+/// submission order. Per-variant failures print like runSweep's
+/// infeasible rows; a cancelled/deadline-expired job makes the whole
+/// run exit 3 after the table.
+int runAsyncSweep(const CliOptions& options, cfd::Session& session,
+                  const std::string& source) {
+  using cfd::formatFixed;
+  using cfd::padLeft;
+  using cfd::padRight;
+
+  applyStageCacheBound(options, session);
+  // Axes were validated at flag-parse time, so the expansion cannot
+  // throw.
+  const std::vector<cfd::AxisVariant> variants =
+      cfd::expandAxisVariants(tuneAxesFrom(options.sweeps), options.flow);
+
+  std::vector<cfd::CompileRequest> requests;
+  requests.reserve(variants.size());
+  for (const cfd::AxisVariant& variant : variants)
+    requests.push_back(cfd::CompileRequest(source).options(variant.options));
+
+  cfd::JobConfig config;
+  config.deadlineMillis = options.deadlineMs;
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<cfd::Job<cfd::CompileResult>> jobs =
+      session.submitBatch(std::move(requests), config);
+
+  std::size_t labelWidth = 12;
+  for (const cfd::AxisVariant& variant : variants)
+    labelWidth = std::max(labelWidth, variant.label.size() + 2);
+  printSweepTableHeader(labelWidth, options);
+
+  std::size_t feasible = 0;
+  std::size_t cacheHits = 0;
+  std::size_t cancelled = 0;
+  std::int64_t stagesAdopted = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const cfd::Expected<cfd::CompileResult>& result = jobs[i].wait();
+    std::cout << "  " << padRight(variants[i].label, labelWidth);
+    if (!result.ok()) {
+      if (jobs[i].state() == cfd::JobState::Cancelled) {
+        ++cancelled;
+        std::cout << "cancelled: " << result.diagnostics()[0].message
+                  << "\n";
+      } else {
+        std::cout << "infeasible: " << result.errorText() << "\n";
+      }
+      continue;
+    }
+    cfd::sim::SimResult sim;
+    const bool simulated = options.simulateElements > 0;
+    if (simulated) {
+      try {
+        sim = result->flow().simulate(
+            {.numElements = options.simulateElements});
+      } catch (const cfd::FlowError& e) {
+        // Same per-row tolerance as the synchronous path (Explorer
+        // catches this inside the worker): report, keep sweeping.
+        std::cout << "infeasible: " << e.what() << "\n";
+        continue;
+      }
+    }
+    ++feasible;
+    if (result->cacheHit())
+      ++cacheHits;
+    stagesAdopted += result->flow().pipeline().adoptedStageCount();
+    printSweepRowBody(options, result->flow(), simulated, sim,
+                      result->cacheHit(),
+                      cfd::resumedFromStage(result->flow(),
+                                            result->cacheHit()));
+  }
+  const double wallMillis = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  std::cout << "  " << jobs.size() << " jobs (" << feasible << " feasible, "
+            << cacheHits << " from cache, " << cancelled
+            << " cancelled) through the async queue in "
+            << formatFixed(wallMillis, 1) << " ms\n";
+  printSessionSummary(session, stagesAdopted);
+  return cancelled > 0 ? kExitDiagnostics : 0;
 }
 
 int runTune(const CliOptions& options, cfd::Session& session,
@@ -440,12 +593,28 @@ int runTune(const CliOptions& options, cfd::Session& session,
   for (const SweepAxis& axis : options.sweeps)
     request.axis(axis.key, axis.values);
 
-  const cfd::Expected<cfd::TuningReport> tuned = session.tune(request);
+  bool cancelled = false;
+  const cfd::Expected<cfd::TuningReport> tuned =
+      [&]() -> cfd::Expected<cfd::TuningReport> {
+    if (!options.asyncJobsExplicit)
+      return session.tune(request);
+    // --async-jobs: the whole tune runs as one queued job whose
+    // per-point batches inherit its priority; --deadline-ms cancels it
+    // cooperatively at the next stage boundary.
+    cfd::JobConfig config;
+    config.deadlineMillis = options.deadlineMs;
+    const cfd::Job<cfd::TuningReport> job =
+        session.submitTune(request, config);
+    cfd::Expected<cfd::TuningReport> result = job.wait();
+    cancelled = job.state() == cfd::JobState::Cancelled;
+    return result;
+  }();
   if (!tuned) {
-    // Bad objective names land here: a flag problem, so exit 2.
+    // Bad objective names land here: a flag problem, so exit 2 — while
+    // a cancelled/deadline-expired job is a compile-side outcome: 3.
     for (const cfd::Diagnostic& diagnostic : tuned.diagnostics())
       std::cerr << "cfdc: " << diagnostic.str() << "\n";
-    return 2;
+    return cancelled ? kExitDiagnostics : 2;
   }
   const cfd::TuningReport& report = *tuned;
   const std::string json = report.jsonText();
@@ -604,15 +773,20 @@ int main(int argc, char** argv) {
 
   // One session per invocation (DESIGN.md §10): --sweep/--tune and the
   // single-shot path all compile through the same caches and pool.
-  // --jobs sizes the pool itself (0 = auto), so an explicit request
-  // above hardware_concurrency is honored, not clamped.
-  cfd::Session session(cfd::SessionOptions{.workers = options.jobs});
+  // --jobs / --async-jobs size the pool itself (0 = auto), so an
+  // explicit request above hardware_concurrency is honored, not
+  // clamped.
+  cfd::Session session(cfd::SessionOptions{
+      .workers =
+          options.asyncJobsExplicit ? options.asyncJobs : options.jobs});
 
   try {
     if (options.tune)
       return runTune(options, session, source.str());
     if (!options.sweeps.empty())
-      return runSweep(options, session, source.str());
+      return options.asyncJobsExplicit
+                 ? runAsyncSweep(options, session, source.str())
+                 : runSweep(options, session, source.str());
     return runSingleShot(options, session, source.str());
   } catch (const cfd::FlowError& e) {
     // Post-compile failures (--validate / --simulate assertions).
