@@ -78,6 +78,28 @@ inline bool maybeWriteTuningReport(const TuningReport& report) {
   return maybeWriteJsonReport(report.toJson());
 }
 
+/// Canonical bench baseline: every bench writes BENCH_<name>.json into
+/// $CFD_BENCH_DIR (falling back to the working directory) so CI can
+/// diff the machine-independent metrics against the committed baselines
+/// at the repo root (scripts/check_bench_regression.py). Wall-clock
+/// fields are recorded for humans but excluded from the regression
+/// gate.
+inline bool writeBenchReport(const std::string& name,
+                             const json::Value& report) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("CFD_BENCH_DIR"); env && *env)
+    dir = env;
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write bench report '" << path << "'\n";
+    return false;
+  }
+  out << report.dump(2) << "\n";
+  std::cout << "  (bench report written to " << path << ")\n";
+  return true;
+}
+
 inline void printCountRow(const std::string& label, std::int64_t paper,
                           std::int64_t measured) {
   std::cout << "  " << padRight(label, 26) << " paper "

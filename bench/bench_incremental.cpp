@@ -9,7 +9,7 @@
 // once and are adopted as shared immutable artifacts by the other
 // points.
 //
-//   cold : stage cache disabled — every point compiles all 8 stages
+//   cold : stage cache disabled — every point compiles all 9 stages
 //   warm : stage cache enabled  — prefix adopted, hls+sysgen recompiled
 //
 // Both runs use one worker so the speedup is pure prefix reuse, not
@@ -94,6 +94,25 @@ int main(int argc, char** argv) {
   std::cout << "  warm rows resumed from:\n";
   for (const auto& [stage, count] : resumedHistogram)
     std::cout << "    " << cfd::padRight(stage, 12) << count << "\n";
+
+  cfd::json::Value report = cfd::json::Value::object();
+  report.set("schema", "cfd-incremental-v1");
+  report.set("points", points);
+  cfd::json::Value timing = cfd::json::Value::object();
+  timing.set("cold_ms", cold.wallMillis);
+  timing.set("warm_ms", warm.wallMillis);
+  timing.set("speedup", speedup);
+  report.set("timing", std::move(timing));
+  cfd::json::Value stages = cfd::json::Value::object();
+  stages.set("warm_hits", warm.stageStats.hits);
+  stages.set("warm_misses", warm.stageStats.misses);
+  stages.set("stages_adopted", warm.stagesAdoptedTotal());
+  report.set("stage_cache", std::move(stages));
+  cfd::json::Value resumed = cfd::json::Value::object();
+  for (const auto& [stage, count] : resumedHistogram)
+    resumed.set(stage, count);
+  report.set("warm_resumed_from", std::move(resumed));
+  cfd::bench::writeBenchReport("incremental", report);
 
   if (speedup < 5.0) {
     std::cerr << "\nFAIL: warm-prefix speedup below 5x\n";

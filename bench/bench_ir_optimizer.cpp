@@ -1,0 +1,216 @@
+// IR optimizer benchmark (DESIGN.md §12): per-pass ablation of the
+// optimize stage on the paper's Inverse Helmholtz kernel and on a
+// redundant SEM-style kernel that applies the same stiffness chain
+// twice.
+//
+// For every (example, config) cell the bench reports
+//   * IR op count after the optimizer (the structural win),
+//   * modeled kernel latency of the end artifact (hls::KernelReport),
+//   * end-to-end compile wall time (the cost of running the passes),
+// and the per-pass rewrite/milli breakdown from the OptimizeReport.
+//
+//   $ ./bench_ir_optimizer [quick]
+//
+// Gate: level 1 must shrink the redundant multi-contraction example by
+// >= 25% IR ops vs level 0. The machine-independent metrics land in
+// BENCH_ir_optimizer.json (writeBenchReport); timings are informative
+// only.
+#include "BenchCommon.h"
+
+#include "core/Flow.h"
+#include "ir/PassManager.h"
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// SEM-style kernel with a duplicated stiffness-application chain: the
+/// two 3-factor contractions lower to six contract statements, three of
+/// which are common subexpressions (plus the local alias they feed).
+constexpr const char* kRedundantHelmholtz = R"(
+var input  S : [8 8]
+var input  D : [8 8 8]
+var input  u : [8 8 8]
+var output v : [8 8 8]
+var output w : [8 8 8]
+var t  : [8 8 8]
+var t2 : [8 8 8]
+t = S # S # S # u . [[1 6] [3 7] [5 8]]
+t2 = S # S # S # u . [[1 6] [3 7] [5 8]]
+v = D * t
+w = D + t2
+)";
+
+struct BenchExample {
+  std::string name;
+  const char* source;
+};
+
+struct BenchConfig {
+  std::string name;
+  cfd::ir::OptimizeOptions optimize;
+};
+
+struct Cell {
+  int opsBefore = 0;
+  int opsAfter = 0;
+  double kernelUs = 0.0;
+  double compileMs = 0.0;
+  cfd::ir::OptimizeReport report;
+};
+
+cfd::ir::OptimizeOptions onlyPass(int level, bool cse, bool fold, bool dce,
+                                  bool fuse) {
+  cfd::ir::OptimizeOptions options;
+  options.level = level;
+  options.cse = cse;
+  options.fold = fold;
+  options.dce = dce;
+  options.fuse = fuse;
+  return options;
+}
+
+Cell measure(const BenchExample& example, const BenchConfig& config) {
+  cfd::FlowOptions options;
+  options.optimize = config.optimize;
+  const auto start = std::chrono::steady_clock::now();
+  // Flow::compile is the hermetic uncached path, so compileMs is a real
+  // cold compile, not a cache lookup.
+  const cfd::Flow flow = cfd::Flow::compile(example.source, options);
+  Cell cell;
+  cell.compileMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  cell.opsBefore = static_cast<int>(flow.loweredProgram().operations().size());
+  cell.opsAfter = static_cast<int>(flow.program().operations().size());
+  cell.kernelUs = flow.kernelReport().timeUs();
+  cell.report = flow.optimizeReport();
+  return cell;
+}
+
+double reductionPct(const Cell& cell) {
+  return cell.opsBefore > 0
+             ? 100.0 * (cell.opsBefore - cell.opsAfter) / cell.opsBefore
+             : 0.0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "quick";
+  const int repeats = quick ? 1 : 5;
+
+  const std::vector<BenchExample> examples = {
+      {"helmholtz", cfd::bench::kInverseHelmholtz},
+      {"redundant_helmholtz", kRedundantHelmholtz},
+  };
+  const std::vector<BenchConfig> configs = {
+      {"level0", onlyPass(0, false, false, false, false)},
+      {"cse_only", onlyPass(1, true, false, false, false)},
+      {"fold_only", onlyPass(1, false, true, false, false)},
+      {"dce_only", onlyPass(1, false, false, true, false)},
+      {"level1", onlyPass(1, true, true, true, false)},
+      {"level2", onlyPass(2, true, true, true, true)},
+  };
+
+  cfd::bench::printHeader("IR optimizer: per-pass ablation");
+
+  cfd::json::Value jsonExamples = cfd::json::Value::array();
+  double redundantLevel0Ops = 0.0;
+  double redundantBestOps = 0.0;
+  bool gateFailed = false;
+
+  for (const BenchExample& example : examples) {
+    std::cout << "  " << example.name << "\n";
+    std::cout << "    " << cfd::padRight("config", 12)
+              << cfd::padLeft("ops", 6) << cfd::padLeft("reduction", 11)
+              << cfd::padLeft("kernel us", 11)
+              << cfd::padLeft("compile ms", 12) << "  passes\n";
+
+    cfd::json::Value jsonConfigs = cfd::json::Value::array();
+    for (const BenchConfig& config : configs) {
+      Cell cell = measure(example, config);
+      // Best-of-N compile time; the structural metrics are
+      // deterministic so any repeat works for those.
+      for (int r = 1; r < repeats; ++r) {
+        const Cell again = measure(example, config);
+        cell.compileMs = std::min(cell.compileMs, again.compileMs);
+      }
+
+      std::string passSummary;
+      for (const cfd::ir::PassResult& pass : cell.report.aggregated()) {
+        if (pass.rewrites == 0)
+          continue;
+        if (!passSummary.empty())
+          passSummary += ", ";
+        passSummary += pass.name + ":" + std::to_string(pass.rewrites);
+      }
+      std::cout << "    " << cfd::padRight(config.name, 12)
+                << cfd::padLeft(std::to_string(cell.opsAfter), 6)
+                << cfd::padLeft(cfd::formatFixed(reductionPct(cell), 1) + "%",
+                                11)
+                << cfd::padLeft(cfd::formatFixed(cell.kernelUs, 2), 11)
+                << cfd::padLeft(cfd::formatFixed(cell.compileMs, 2), 12)
+                << "  " << (passSummary.empty() ? "-" : passSummary) << "\n";
+
+      cfd::json::Value jsonConfig = cfd::json::Value::object();
+      jsonConfig.set("name", config.name);
+      jsonConfig.set("level", config.optimize.level);
+      jsonConfig.set("ops_before", cell.opsBefore);
+      jsonConfig.set("ops_after", cell.opsAfter);
+      jsonConfig.set("op_reduction_pct", reductionPct(cell));
+      jsonConfig.set("kernel_us", cell.kernelUs);
+      jsonConfig.set("compile_ms", cell.compileMs);
+      cfd::json::Value jsonPasses = cfd::json::Value::array();
+      for (const cfd::ir::PassResult& pass : cell.report.aggregated()) {
+        cfd::json::Value jsonPass = cfd::json::Value::object();
+        jsonPass.set("name", pass.name);
+        jsonPass.set("rewrites", pass.rewrites);
+        jsonPass.set("millis", pass.millis);
+        jsonPasses.push(std::move(jsonPass));
+      }
+      jsonConfig.set("passes", std::move(jsonPasses));
+      jsonConfigs.push(std::move(jsonConfig));
+
+      if (example.name == "redundant_helmholtz") {
+        if (config.name == "level0")
+          redundantLevel0Ops = cell.opsAfter;
+        else if (redundantBestOps == 0.0 ||
+                 cell.opsAfter < redundantBestOps)
+          redundantBestOps = cell.opsAfter;
+      }
+    }
+    std::cout << "\n";
+
+    cfd::json::Value jsonExample = cfd::json::Value::object();
+    jsonExample.set("name", example.name);
+    jsonExample.set("configs", std::move(jsonConfigs));
+    jsonExamples.push(std::move(jsonExample));
+  }
+
+  const double gatePct =
+      redundantLevel0Ops > 0
+          ? 100.0 * (redundantLevel0Ops - redundantBestOps) /
+                redundantLevel0Ops
+          : 0.0;
+  std::cout << "  redundant_helmholtz best op reduction "
+            << cfd::formatFixed(gatePct, 1) << "% (target >= 25%)\n";
+  if (gatePct < 25.0) {
+    std::cerr << "\nFAIL: optimizer op-count reduction below 25%\n";
+    gateFailed = true;
+  }
+
+  cfd::json::Value report = cfd::json::Value::object();
+  report.set("schema", "cfd-ir-optimizer-v1");
+  report.set("examples", std::move(jsonExamples));
+  report.set("redundant_best_reduction_pct", gatePct);
+  cfd::bench::writeBenchReport("ir_optimizer", report);
+
+  if (gateFailed)
+    return 1;
+  std::cout << "\n  OK: optimizer ablation complete\n";
+  return 0;
+}

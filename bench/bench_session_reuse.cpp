@@ -112,6 +112,7 @@ int main(int argc, char** argv) {
   counters.set("failed_requests", stats.failedRequests);
   report.set("session", std::move(counters));
   cfd::bench::maybeWriteJsonReport(report);
+  cfd::bench::writeBenchReport("session_reuse", report);
 
   // The warm session must have seen real sharing, or the bench is
   // measuring nothing: 4 distinct compile configurations over

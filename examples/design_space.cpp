@@ -73,7 +73,7 @@ buildJobs(const std::vector<SweepPoint>& points) {
 }
 
 double sequentialEagerMillis(const std::vector<cfd::ExplorationJob>& jobs) {
-  // The pre-pipeline behavior: every variant re-runs all eight stages.
+  // The pre-pipeline behavior: every variant re-runs all nine stages.
   const auto start = std::chrono::steady_clock::now();
   for (const auto& job : jobs) {
     const cfd::Flow flow = cfd::Flow::compile(job.source, job.options);

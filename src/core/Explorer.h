@@ -50,7 +50,7 @@ struct ExplorationRow {
   int stagesAdopted = 0;
   /// The first pipeline stage this row's compile actually executed:
   /// "flow-cache" when the whole Flow was reused, "stage-cache" when a
-  /// recompile adopted all 8 stage artifacts, otherwise a stage name
+  /// recompile adopted all 9 stage artifacts, otherwise a stage name
   /// ("parse" = cold, "hls" = parse..memory-plan adopted, ...).
   std::string resumedFrom;
   double compileMillis = 0; // wall time of the compile or cache lookup

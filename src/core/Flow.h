@@ -46,7 +46,16 @@ public:
 
   // ---- Stage results ----
   const dsl::Program& ast() const { return pipeline_->ast(); }
+  /// The raw lowered IR, before the optimizer ran.
+  const ir::Program& loweredProgram() const {
+    return pipeline_->loweredProgram();
+  }
+  /// The optimized IR every later stage consumed.
   const ir::Program& program() const { return pipeline_->program(); }
+  /// Per-pass optimizer breakdown (DESIGN.md §12).
+  const ir::OptimizeReport& optimizeReport() const {
+    return pipeline_->optimizeReport();
+  }
   const sched::Schedule& schedule() const { return pipeline_->schedule(); }
   const mem::LivenessInfo& liveness() const {
     return pipeline_->liveness();

@@ -1,7 +1,7 @@
 #include "core/Pipeline.h"
 
 #include "dsl/Parser.h"
-#include "ir/Transforms.h"
+#include "ir/PassManager.h"
 #include "support/Diagnostics.h"
 #include "support/Error.h"
 #include "support/Format.h"
@@ -75,6 +75,17 @@ std::string Pipeline::timingReport() const {
     else
       os << padLeft(formatFixed(millis_[i], 3) + " ms", 10);
     os << "  -> " << stageOutputs(stage) << "\n";
+    // The optimize stage breaks down into its passes (DESIGN.md §12);
+    // adopted artifacts keep the report of the pipeline that ran them,
+    // whose timings would be misleading here.
+    if (stage == Stage::Optimize && !cached && artifacts_.optimized) {
+      for (const ir::PassResult& pass :
+           artifacts_.optimized->report.aggregated())
+        os << "    . " << padRight(pass.name, 14)
+           << padLeft(formatFixed(pass.millis, 3) + " ms", 12) << "  "
+           << pass.opsBefore << " -> " << pass.opsAfter << " ops, "
+           << pass.rewrites << " rewrites\n";
+    }
   }
   return os.str();
 }
@@ -128,6 +139,9 @@ void Pipeline::adoptPrefix(Stage goal) {
     case Stage::Lower:
       artifacts_.program = entry->artifacts.program;
       break;
+    case Stage::Optimize:
+      artifacts_.optimized = entry->artifacts.optimized;
+      break;
     case Stage::Schedule:
       artifacts_.referenceSchedule = entry->artifacts.referenceSchedule;
       break;
@@ -159,6 +173,8 @@ StageArtifacts Pipeline::snapshotPrefix(Stage stage) const {
     prefix.ast = artifacts_.ast;
   if (last >= indexOf(Stage::Lower))
     prefix.program = artifacts_.program;
+  if (last >= indexOf(Stage::Optimize))
+    prefix.optimized = artifacts_.optimized;
   if (last >= indexOf(Stage::Schedule))
     prefix.referenceSchedule = artifacts_.referenceSchedule;
   if (last >= indexOf(Stage::Reschedule))
@@ -206,19 +222,27 @@ void Pipeline::executeStage(Stage stage) {
     artifacts_.ast =
         std::make_shared<const dsl::Program>(dsl::parseAndCheck(source_));
     break;
-  case Stage::Lower: {
-    // Step i: lowering into pseudo-SSA with contraction splitting, then
-    // canonicalization (before the artifact freezes behind const).
-    ir::Program program = ir::lower(*artifacts_.ast, options_.lowering);
-    ir::canonicalize(program);
-    artifacts_.program =
-        std::make_shared<const ir::Program>(std::move(program));
+  case Stage::Lower:
+    // Step i: lowering into pseudo-SSA with contraction splitting. The
+    // raw program is kept as its own artifact (--print-ir-before);
+    // canonicalization moved into the optimize stage as pass zero.
+    artifacts_.program = std::make_shared<const ir::Program>(
+        ir::lower(*artifacts_.ast, options_.lowering));
+    break;
+  case Stage::Optimize: {
+    // The optimizer pass pipeline (DESIGN.md §12). At level 0 only
+    // canonicalize runs, reproducing the unoptimized flow's program
+    // byte for byte.
+    auto artifact = std::make_shared<OptimizeArtifact>();
+    artifact->program = *artifacts_.program;
+    artifact->report = ir::optimize(artifact->program, options_.optimize);
+    artifacts_.optimized = std::move(artifact);
     break;
   }
   case Stage::Schedule:
     // Step ii: reference schedule with materialized layouts.
     artifacts_.referenceSchedule = std::make_shared<const sched::Schedule>(
-        sched::buildReferenceSchedule(*artifacts_.program,
+        sched::buildReferenceSchedule(artifacts_.optimized->program,
                                       options_.layouts));
     break;
   case Stage::Reschedule: {
@@ -264,9 +288,19 @@ const dsl::Program& Pipeline::ast() {
   return *artifacts_.ast;
 }
 
-const ir::Program& Pipeline::program() {
+const ir::Program& Pipeline::loweredProgram() {
   require(Stage::Lower);
   return *artifacts_.program;
+}
+
+const ir::Program& Pipeline::program() {
+  require(Stage::Optimize);
+  return artifacts_.optimized->program;
+}
+
+const ir::OptimizeReport& Pipeline::optimizeReport() {
+  require(Stage::Optimize);
+  return artifacts_.optimized->report;
 }
 
 const sched::Schedule& Pipeline::schedule() {

@@ -1,13 +1,14 @@
 // Staged pass pipeline (DESIGN.md §3, §9) — executes the declared stage
 // graph of core/StageGraph.h behind the Flow facade.
 //
-// The compilation flow is eight named stages (see StageGraph.h for the
+// The compilation flow is nine named stages (see StageGraph.h for the
 // full declaration: dependence edges and consumed option subsets):
 //
 //   stage       inputs                      outputs
 //   ---------   -------------------------   --------------------------
 //   parse       CFDlang source              checked AST
 //   lower       AST, LoweringOptions        tensor IR (pseudo-SSA)
+//   optimize    IR, OptimizeOptions         optimized tensor IR
 //   schedule    IR, LayoutOptions           reference schedule + layouts
 //   reschedule  schedule, RescheduleOpts    Pluto-lite schedule
 //   liveness    schedule                    live intervals
@@ -92,7 +93,12 @@ public:
 
   // ---- Stage artifacts (running their producing stage on demand) ----
   const dsl::Program& ast();
+  /// The raw lowered program, before the optimizer (--print-ir-before).
+  const ir::Program& loweredProgram();
+  /// The optimized program every later stage consumes.
   const ir::Program& program();
+  /// What the optimizer did, pass by pass (DESIGN.md §12).
+  const ir::OptimizeReport& optimizeReport();
   const sched::Schedule& schedule();
   const mem::LivenessInfo& liveness();
   const mem::CompatibilityGraph& compatibilityGraph();

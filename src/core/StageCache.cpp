@@ -19,6 +19,12 @@ std::size_t approxArtifactBytes(Stage stage,
       return 0;
     return 512 + 256 * artifacts.program->tensors().size() +
            512 * artifacts.program->operations().size();
+  case Stage::Optimize:
+    if (!artifacts.optimized)
+      return 0;
+    return 512 + 256 * artifacts.optimized->program.tensors().size() +
+           512 * artifacts.optimized->program.operations().size() +
+           128 * artifacts.optimized->report.passes.size();
   case Stage::Schedule:
   case Stage::Reschedule: {
     const auto& schedule = stage == Stage::Schedule

@@ -42,12 +42,21 @@ struct MemoryPlanArtifact {
   mem::MemoryPlan plan;
 };
 
+/// The optimize stage's artifact: the optimized program plus the
+/// per-pass report (timings/op counts survive cache adoption, so an
+/// adopted prefix can still explain what the optimizer did).
+struct OptimizeArtifact {
+  ir::Program program;
+  ir::OptimizeReport report;
+};
+
 /// One shared_ptr slot per stage output. A StageArtifacts value is a
 /// (possibly partial) prefix of the pipeline: slot i is non-null iff
 /// every slot j <= i along the linear stage order is non-null.
 struct StageArtifacts {
   std::shared_ptr<const dsl::Program> ast;                  // parse
   std::shared_ptr<const ir::Program> program;               // lower
+  std::shared_ptr<const OptimizeArtifact> optimized;        // optimize
   std::shared_ptr<const sched::Schedule> referenceSchedule; // schedule
   std::shared_ptr<const sched::Schedule> schedule;          // reschedule
   std::shared_ptr<const mem::LivenessInfo> liveness;        // liveness

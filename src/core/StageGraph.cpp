@@ -14,11 +14,16 @@ void normalizeOptions(FlowOptions& options) {
       std::max(options.memory.banks, options.hls.unrollFactor);
   options.emitter.unrollFactor =
       std::max(options.emitter.unrollFactor, options.hls.unrollFactor);
+  // Canonical optimizer settings: clamp the level and mask toggles of
+  // level-disabled passes, so equivalent effective pass lists share one
+  // fingerprint (and one stage-cache prefix).
+  ir::normalizeOptimizeOptions(options.optimize);
 }
 
 std::uint64_t flowOptionsFingerprint(const FlowOptions& options) {
   Fnv1aHasher h;
   h.mix(options.lowering.fingerprint());
+  h.mix(options.optimize.fingerprint());
   h.mix(options.layouts.fingerprint());
   h.mix(options.reschedule.fingerprint());
   h.mix(options.memory.fingerprint());
@@ -38,8 +43,11 @@ constexpr StageSpec kStageSpecs[kStageCount] = {
      {}, 0, kNoOptions},
     {"lower", "AST, LoweringOptions", "tensor IR (pseudo-SSA)",
      {Stage::Parse}, 1, kLoweringOptions},
-    {"schedule", "tensor IR, LayoutOptions", "reference schedule + layouts",
-     {Stage::Lower}, 1, kLayoutOptions},
+    {"optimize", "tensor IR, OptimizeOptions", "optimized tensor IR",
+     {Stage::Lower}, 1, kOptimizeOptions},
+    {"schedule", "optimized IR, LayoutOptions",
+     "reference schedule + layouts",
+     {Stage::Optimize}, 1, kLayoutOptions},
     {"reschedule", "schedule, RescheduleOptions", "Pluto-lite schedule",
      {Stage::Schedule}, 1, kRescheduleOptions},
     {"liveness", "schedule", "live intervals",
@@ -83,6 +91,8 @@ std::uint64_t stageOptionsFingerprint(Stage stage,
   Fnv1aHasher h;
   if (consumes & kLoweringOptions)
     h.mix(options.lowering.fingerprint());
+  if (consumes & kOptimizeOptions)
+    h.mix(options.optimize.fingerprint());
   if (consumes & kLayoutOptions)
     h.mix(options.layouts.fingerprint());
   if (consumes & kRescheduleOptions)
@@ -101,7 +111,7 @@ std::uint64_t stageOptionsFingerprint(Stage stage,
 std::array<std::uint64_t, kStageCount>
 computeStageKeys(const std::string& source, const FlowOptions& options) {
   Fnv1aHasher base;
-  base.mix(std::string_view("cfd-stage-graph-v1"));
+  base.mix(std::string_view("cfd-stage-graph-v2"));
   base.mix(std::string_view(source));
 
   std::array<std::uint64_t, kStageCount> keys{};
@@ -123,6 +133,8 @@ bool prefixOptionsEqual(Stage stage, const FlowOptions& a,
                         const FlowOptions& b) {
   const unsigned mask = closureConsumes(stage);
   if ((mask & kLoweringOptions) && !(a.lowering == b.lowering))
+    return false;
+  if ((mask & kOptimizeOptions) && !(a.optimize == b.optimize))
     return false;
   if ((mask & kLayoutOptions) && !(a.layouts == b.layouts))
     return false;

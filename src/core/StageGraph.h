@@ -21,6 +21,7 @@
 #include "codegen/CEmitter.h"
 #include "hls/HlsModel.h"
 #include "ir/Lowering.h"
+#include "ir/PassManager.h"
 #include "mem/Mnemosyne.h"
 #include "sched/Reschedule.h"
 #include "sysgen/SystemGenerator.h"
@@ -33,6 +34,7 @@ namespace cfd {
 
 struct FlowOptions {
   ir::LoweringOptions lowering;
+  ir::OptimizeOptions optimize;
   sched::LayoutOptions layouts;
   sched::RescheduleOptions reschedule; // default: Hardware objective
   mem::MemoryPlanOptions memory;
@@ -57,6 +59,7 @@ std::uint64_t flowOptionsFingerprint(const FlowOptions& options);
 enum class Stage {
   Parse,
   Lower,
+  Optimize,
   Schedule,
   Reschedule,
   Liveness,
@@ -65,19 +68,20 @@ enum class Stage {
   SysGen,
 };
 
-inline constexpr int kStageCount = 8;
+inline constexpr int kStageCount = 9;
 
 /// The option structs a stage may consume, as a bitmask (StageSpec
 /// declares one mask per stage).
 enum OptionSubset : unsigned {
   kNoOptions = 0,
   kLoweringOptions = 1u << 0,
-  kLayoutOptions = 1u << 1,
-  kRescheduleOptions = 1u << 2,
-  kMemoryPlanOptions = 1u << 3,
-  kHlsOptions = 1u << 4,
-  kSystemOptions = 1u << 5,
-  kEmitterOptions = 1u << 6,
+  kOptimizeOptions = 1u << 1,
+  kLayoutOptions = 1u << 2,
+  kRescheduleOptions = 1u << 3,
+  kMemoryPlanOptions = 1u << 4,
+  kHlsOptions = 1u << 5,
+  kSystemOptions = 1u << 6,
+  kEmitterOptions = 1u << 7,
 };
 
 /// One node of the declared stage graph.

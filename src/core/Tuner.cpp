@@ -302,6 +302,12 @@ void applyTuneParam(FlowOptions& options, const std::string& key,
                     const std::string& value) {
   if (key == "unroll") {
     options.hls.unrollFactor = parseIntValue(value, key);
+  } else if (key == "opt") {
+    const int level = parseIntValue(value, key);
+    if (level < 0 || level > 2)
+      throw FlowError("parameter 'opt' expects a level in 0..2 (got '" +
+                      value + "')");
+    options.optimize.level = level;
   } else if (key == "m") {
     options.system.memories = parseIntValue(value, key);
   } else if (key == "k") {
@@ -328,7 +334,7 @@ void applyTuneParam(FlowOptions& options, const std::string& key,
                       value + "')");
   } else {
     throw FlowError("unknown parameter '" + key +
-                    "' (valid: unroll, m, k, sharing, decoupled, "
+                    "' (valid: unroll, opt, m, k, sharing, decoupled, "
                     "objective, layout)");
   }
 }

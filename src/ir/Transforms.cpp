@@ -41,7 +41,19 @@ CanonicalizeStats canonicalize(Program& program) {
   }
 
   // Backward retargeting: out = copy(t) with t transient defined by the
-  // directly preceding statement and not used elsewhere.
+  // directly preceding statement and not used elsewhere. "Not used
+  // elsewhere" is a reference count of exactly 2 (the definition's
+  // write plus this copy's read), tallied once up front instead of
+  // rescanning every operation per candidate.
+  std::vector<int> refs(program.tensors().size(), 0);
+  for (const Operation& op : ops) {
+    ++refs[op.target];
+    if (op.kind != OpKind::Fill && op.lhs >= 0)
+      ++refs[op.lhs];
+    if ((op.kind == OpKind::Contract || op.kind == OpKind::EntryWise) &&
+        op.rhs >= 0)
+      ++refs[op.rhs];
+  }
   for (std::size_t i = 1; i < ops.size();) {
     Operation& op = ops[i];
     if (op.kind != OpKind::Copy || !op.perm.empty()) {
@@ -50,19 +62,12 @@ CanonicalizeStats canonicalize(Program& program) {
     }
     const Tensor& source = program.tensor(op.lhs);
     Operation& def = ops[i - 1];
-    const bool sourceIsPrivate =
-        source.kind == TensorKind::Transient && def.target == op.lhs;
-    bool usedElsewhere = false;
-    for (std::size_t j = 0; j < ops.size(); ++j) {
-      if (j == i || j == i - 1)
-        continue;
-      const Operation& other = ops[j];
-      if (other.lhs == op.lhs || other.rhs == op.lhs ||
-          other.target == op.lhs)
-        usedElsewhere = true;
-    }
-    if (sourceIsPrivate && !usedElsewhere) {
+    if (source.kind == TensorKind::Transient && def.target == op.lhs &&
+        refs[op.lhs] == 2) {
+      // The write of t moves to the copy's target; t itself ends up
+      // unreferenced and the copy's target keeps one write.
       def.target = op.target;
+      refs[op.lhs] = 0;
       ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
       ++stats.copiesRetargeted;
       continue;

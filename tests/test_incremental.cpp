@@ -26,6 +26,8 @@ TEST(FingerprintTest, SeparatelyConstructedEqualOptionsHashEqual) {
   // bytes hold — must agree.
   EXPECT_EQ(ir::LoweringOptions{}.fingerprint(),
             ir::LoweringOptions{}.fingerprint());
+  EXPECT_EQ(ir::OptimizeOptions{}.fingerprint(),
+            ir::OptimizeOptions{}.fingerprint());
   EXPECT_EQ(sched::LayoutOptions{}.fingerprint(),
             sched::LayoutOptions{}.fingerprint());
   EXPECT_EQ(sched::RescheduleOptions{}.fingerprint(),
@@ -63,6 +65,10 @@ TEST(FingerprintTest, EveryFieldChangesTheValue) {
   lowering.factorization = ir::FactorizationOrder::LeftToRight;
   EXPECT_NE(lowering.fingerprint(), ir::LoweringOptions{}.fingerprint());
 
+  ir::OptimizeOptions optimize;
+  optimize.level = 2;
+  EXPECT_NE(optimize.fingerprint(), ir::OptimizeOptions{}.fingerprint());
+
   sched::RescheduleOptions reschedule;
   reschedule.permuteLoops = false;
   EXPECT_NE(reschedule.fingerprint(),
@@ -90,6 +96,7 @@ TEST(FingerprintTest, DistinctStructsWithEqualFieldsHashDifferently) {
   // option structs never collide with each other.
   std::set<std::uint64_t> values{
       ir::LoweringOptions{}.fingerprint(),
+      ir::OptimizeOptions{}.fingerprint(),
       sched::LayoutOptions{}.fingerprint(),
       sched::RescheduleOptions{}.fingerprint(),
       mem::MemoryPlanOptions{}.fingerprint(),
@@ -97,7 +104,7 @@ TEST(FingerprintTest, DistinctStructsWithEqualFieldsHashDifferently) {
       sysgen::SystemOptions{}.fingerprint(),
       codegen::CEmitterOptions{}.fingerprint(),
   };
-  EXPECT_EQ(values.size(), 7u);
+  EXPECT_EQ(values.size(), 8u);
 }
 
 // ---- Stage keys: the DESIGN.md §9 derivation table ----
@@ -162,7 +169,7 @@ TEST(IncrementalTest, HlsOnlyChangeReusesThePrefixArtifactPointers) {
   EXPECT_EQ(pipeline.provenance(Stage::MemoryPlan), StageProvenance::Cached);
   EXPECT_EQ(pipeline.provenance(Stage::Hls), StageProvenance::Ran);
   EXPECT_EQ(pipeline.provenance(Stage::SysGen), StageProvenance::Ran);
-  EXPECT_EQ(pipeline.adoptedStageCount(), 6);
+  EXPECT_EQ(pipeline.adoptedStageCount(), 7);
 }
 
 TEST(IncrementalTest, LoweringChangeInvalidatesEverythingDownstream) {
@@ -199,7 +206,63 @@ TEST(IncrementalTest, UnrollChangeInvalidatesFromTheMemoryPlanOn) {
   EXPECT_EQ(&base->schedule(), &variant->schedule());
   EXPECT_EQ(&base->liveness(), &variant->liveness());
   EXPECT_NE(&base->memoryPlan(), &variant->memoryPlan());
-  EXPECT_EQ(variant->pipeline().adoptedStageCount(), 5);
+  EXPECT_EQ(variant->pipeline().adoptedStageCount(), 6);
+}
+
+TEST(IncrementalTest, OptimizeOnlyChangeAdoptsParseAndLowerOnly) {
+  // Changing nothing but OptimizeOptions must resume from the optimize
+  // stage: the parse..lower prefix is adopted by pointer, everything
+  // from optimize on recomputes.
+  FlowCache cache;
+  const auto base = cache.compile(test::kInverseHelmholtz);
+  FlowOptions options;
+  options.optimize.level = 0;
+  const auto variant = cache.compile(test::kInverseHelmholtz, options);
+
+  EXPECT_EQ(&base->ast(), &variant->ast());
+  EXPECT_EQ(&base->loweredProgram(), &variant->loweredProgram());
+  EXPECT_NE(&base->program(), &variant->program());
+  EXPECT_NE(&base->schedule(), &variant->schedule());
+
+  const Pipeline& pipeline = variant->pipeline();
+  EXPECT_EQ(pipeline.provenance(Stage::Parse), StageProvenance::Cached);
+  EXPECT_EQ(pipeline.provenance(Stage::Lower), StageProvenance::Cached);
+  EXPECT_EQ(pipeline.provenance(Stage::Optimize), StageProvenance::Ran);
+  EXPECT_EQ(pipeline.provenance(Stage::Schedule), StageProvenance::Ran);
+  EXPECT_EQ(pipeline.adoptedStageCount(), 2);
+}
+
+TEST(StageKeyTest, OptimizeOptionsInvalidateEverythingPastLower) {
+  FlowOptions base;
+  FlowOptions optimize;
+  optimize.optimize.level = 2;
+  normalizeOptions(base);
+  normalizeOptions(optimize);
+  const auto a = computeStageKeys(test::kInverseHelmholtz, base);
+  const auto b = computeStageKeys(test::kInverseHelmholtz, optimize);
+  EXPECT_EQ(a[static_cast<int>(Stage::Parse)],
+            b[static_cast<int>(Stage::Parse)]);
+  EXPECT_EQ(a[static_cast<int>(Stage::Lower)],
+            b[static_cast<int>(Stage::Lower)]);
+  for (int i = static_cast<int>(Stage::Optimize); i < kStageCount; ++i)
+    EXPECT_NE(a[i], b[i]) << "stage " << stageName(static_cast<Stage>(i));
+}
+
+TEST(StageKeyTest, LevelDisabledToggleSpellingsShareOneKey) {
+  // normalizeOptions masks toggles of passes the level disables, so
+  // e.g. {level=0, cse=true} and {level=0, cse=false} are one cache
+  // entry, not two.
+  FlowOptions a;
+  a.optimize.level = 0;
+  a.optimize.cse = true;
+  FlowOptions b;
+  b.optimize.level = 0;
+  b.optimize.cse = false;
+  normalizeOptions(a);
+  normalizeOptions(b);
+  EXPECT_EQ(a.optimize, b.optimize);
+  EXPECT_EQ(computeStageKeys(test::kInverseHelmholtz, a),
+            computeStageKeys(test::kInverseHelmholtz, b));
 }
 
 TEST(IncrementalTest, ArtifactsAreByteIdenticalToColdCompilesAcrossStages) {
@@ -217,7 +280,7 @@ TEST(IncrementalTest, ArtifactsAreByteIdenticalToColdCompilesAcrossStages) {
   const Flow cold = Flow::compile(test::kInverseHelmholtz, options);
   EXPECT_EQ(cold.pipeline().adoptedStageCount(), 0);
 
-  // All 8 stages: parse (AST print), lower, schedule/reschedule,
+  // All 9 stages: parse (AST print), lower/optimize, schedule/reschedule,
   // liveness, memory-plan (plan + graph), hls, sysgen.
   EXPECT_EQ(dsl::printProgram(cold.ast()),
             dsl::printProgram(incremental->ast()));
@@ -284,7 +347,7 @@ TEST(StageCacheTest, StatsCountStageLevelHitsAndMisses) {
   options.hls.clockMHz = 150.0;
   cache.compile(test::kInverseHelmholtz, options);
   const auto warm = cache.stageCache()->stats();
-  EXPECT_EQ(warm.hits, 6);                   // parse..memory-plan adopted
+  EXPECT_EQ(warm.hits, 7);                   // parse..memory-plan adopted
   EXPECT_EQ(warm.misses, kStageCount + 2);   // hls + sysgen recompiled
 }
 
@@ -338,9 +401,9 @@ TEST(StageCacheTest, SharedAcrossExplorerWorkersWithoutDivergence) {
   EXPECT_EQ(a.rows[0].resumedFrom, "parse");
   for (std::size_t i = 1; i < a.rows.size(); ++i) {
     EXPECT_EQ(a.rows[i].resumedFrom, "hls");
-    EXPECT_EQ(a.rows[i].stagesAdopted, 6);
+    EXPECT_EQ(a.rows[i].stagesAdopted, 7);
   }
-  EXPECT_EQ(a.stageStats.hits, 6 * 11);
+  EXPECT_EQ(a.stageStats.hits, 7 * 11);
 }
 
 } // namespace

@@ -57,6 +57,8 @@ struct CliOptions {
   cfd::FlowOptions flow;
   std::int64_t simulateElements = 0;
   bool validate = false;
+  bool printIrBefore = false;
+  bool printIrAfter = false;
   bool emitExplicit = false;
   std::vector<SweepAxis> sweeps;
   bool jobsExplicit = false;
@@ -97,6 +99,14 @@ Single-shot compilation:
   --m=N                    force the number of PLM units (0 = fit device)
   --k=N                    force the number of accelerators (0 = equal m)
   --unroll=N               innermost unroll factor / PLM banks
+  --opt-level=N            IR optimizer level (default: 1): 0 =
+                           canonicalize only, 1 = +cse/fold/dce,
+                           2 = +copy/contraction fusion (DESIGN.md §12)
+  --print-ir-before        dump the tensor IR before the optimizer ran
+                           (stderr; single-shot only)
+  --print-ir-after         dump the optimized tensor IR plus the
+                           per-pass rewrite summary (stderr;
+                           single-shot only)
   --objective=hw|sw        rescheduling objective (default: hw)
   --layout=rowmajor|colmajor  default tensor layout (default: rowmajor)
   --simulate=Ne            simulate Ne elements on the platform model
@@ -109,8 +119,8 @@ Single-shot compilation:
 
 Design-space search:
   --sweep=key=v1,v2,...    declare one axis (repeatable; axes combine as
-                           a cross product). Keys: unroll|m|k|sharing|
-                           decoupled|objective|layout
+                           a cross product). Keys: unroll|opt|m|k|
+                           sharing|decoupled|objective|layout
   --jobs=N                 worker threads for --sweep/--tune (0 = auto);
                            an error without one of those modes
   --async-jobs=N           drive --sweep/--tune through the session's
@@ -246,6 +256,12 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
       options.flow.system.kernels = parseInt(value, "--k");
     } else if (consumeValue(arg, "--unroll=", value)) {
       options.flow.hls.unrollFactor = parseInt(value, "--unroll");
+    } else if (consumeValue(arg, "--opt-level=", value)) {
+      applySweepValue(options.flow, "opt", value);
+    } else if (arg == "--print-ir-before") {
+      options.printIrBefore = true;
+    } else if (arg == "--print-ir-after") {
+      options.printIrAfter = true;
     } else if (consumeValue(arg, "--objective=", value)) {
       applySweepValue(options.flow, "objective", value);
     } else if (consumeValue(arg, "--layout=", value)) {
@@ -343,6 +359,10 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
   if (options.diagnosticsJson && (options.tune || !options.sweeps.empty()))
     usage("--diagnostics=json only applies to single-shot compiles "
           "(sweep/tune report per-point errors in their own output)");
+  if ((options.printIrBefore || options.printIrAfter) &&
+      (options.tune || !options.sweeps.empty()))
+    usage("--print-ir-before/--print-ir-after only apply to single-shot "
+          "compiles (a sweep/tune has one IR dump per variant)");
   if (options.jobsExplicit && options.asyncJobsExplicit)
     usage("--jobs and --async-jobs are mutually exclusive (both size the "
           "worker pool)");
@@ -727,6 +747,14 @@ int runSingleShot(const CliOptions& options, cfd::Session& session,
   for (const cfd::Diagnostic& diagnostic : compiled.diagnostics())
     std::cerr << "cfdc: " << diagnostic.str() << "\n"; // warnings/notes
   const cfd::Flow& flow = compiled->flow();
+
+  // IR dumps go to stderr so --emit output on stdout stays clean.
+  if (options.printIrBefore)
+    std::cerr << "== IR before optimize ==\n"
+              << flow.loweredProgram().str() << "\n";
+  if (options.printIrAfter)
+    std::cerr << "== IR after optimize ==\n" << flow.program().str()
+              << "\n" << flow.optimizeReport().str();
 
   const std::string artifact = emitKind != nullptr
                                    ? ((*compiled).*(emitKind->text))()
