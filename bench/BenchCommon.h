@@ -32,6 +32,24 @@ v = S # S # S # r . [[0 6] [2 7] [4 8]]
 /// simulation of 50,000 elements with all data in DRAM").
 inline constexpr std::int64_t kNumElements = 50000;
 
+/// The Fig. 1 operator at an arbitrary polynomial degree (extent =
+/// p + 1); multi-kernel workloads (bench_store) sweep this over many
+/// degrees.
+inline std::string inverseHelmholtzSource(int extent) {
+  const std::string n = std::to_string(extent);
+  std::string src;
+  src += "var input  S : [" + n + " " + n + "]\n";
+  src += "var input  D : [" + n + " " + n + " " + n + "]\n";
+  src += "var input  u : [" + n + " " + n + " " + n + "]\n";
+  src += "var output v : [" + n + " " + n + " " + n + "]\n";
+  src += "var t : [" + n + " " + n + " " + n + "]\n";
+  src += "var r : [" + n + " " + n + " " + n + "]\n";
+  src += "t = S # S # S # u . [[1 6] [3 7] [5 8]]\n";
+  src += "r = D * t\n";
+  src += "v = S # S # S # r . [[0 6] [2 7] [4 8]]\n";
+  return src;
+}
+
 inline Flow compileHelmholtz(bool sharing = true, int m = 0, int k = 0) {
   FlowOptions options;
   options.memory.enableSharing = sharing;

@@ -154,6 +154,9 @@ int main(int argc, char** argv) {
   runs.set("async_n", runJson(asyncMany));
   report.set("runs", std::move(runs));
   cfd::bench::maybeWriteJsonReport(report);
+  // The regression gate reads the deterministic 1-worker accounting
+  // (async-N scheduling varies run to run; it is gated in-binary above).
+  cfd::bench::writeBenchReport("async_throughput", report);
 
   std::cout << "\n  OK: batch submission completed " << points
             << " points with consistent accounting\n";

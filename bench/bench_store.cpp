@@ -1,0 +1,172 @@
+// Persistent artifact store benchmark (DESIGN.md §13).
+//
+// Measures what the disk tier buys across *process* boundaries: the
+// in-memory StageCache dies with the process, so before the store, a
+// fresh cfdc invocation / CI step / sweep-shard worker recompiled the
+// whole sweep. With a warm CFD_CACHE_DIR it adopts every stage prefix
+// from disk instead.
+//
+// The workload is a 200-point multi-kernel sweep — Inverse Helmholtz
+// operators at many polynomial degrees, times an HLS clock axis — the
+// shape of a cross-degree design-space exploration where in-memory
+// prefix reuse alone cannot help a cold process: every degree needs its
+// own parse..memory-plan prefix.
+//
+//   cold      : empty store directory — every prefix is computed (and
+//               published for the next process)
+//   disk-warm : a *fresh* Session (fresh in-memory caches, modelling a
+//               new process) on the now-populated directory — every
+//               point is served by disk loads, no stage recomputes
+//
+// Artifacts are asserted byte-identical between the two runs, and the
+// disk-warm run must be >= 5x faster.
+#include "BenchCommon.h"
+
+#include "store/ArtifactStore.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// The Fig. 1 operator at `extent`, optionally with an extra diagonal
+/// smoothing statement — a second kernel family, so the sweep carries
+/// twice as many distinct parse..memory-plan prefixes per clock axis.
+std::string kernelSource(int extent, bool smoothed) {
+  std::string src = cfd::bench::inverseHelmholtzSource(extent);
+  if (!smoothed)
+    return src;
+  const std::string n = std::to_string(extent);
+  const std::string shape = "[" + n + " " + n + " " + n + "]";
+  src += "var output w : " + shape + "\n";
+  src += "w = D * v\n";
+  return src;
+}
+
+struct RunResult {
+  double wallMillis = 0;
+  std::vector<std::string> systems; // systemDesign().str() per point
+  cfd::Session::Stats stats;
+};
+
+/// One "process": a fresh Session on `cacheDir` compiling every
+/// (kernel, clock) point on one thread.
+RunResult runSweep(const std::vector<std::string>& sources,
+                   const std::vector<cfd::FlowOptions>& variants,
+                   const std::string& cacheDir) {
+  RunResult result;
+  cfd::Session session(cfd::SessionOptions{.cacheDir = cacheDir});
+  const auto start = std::chrono::steady_clock::now();
+  for (const std::string& source : sources)
+    for (const cfd::FlowOptions& variant : variants) {
+      auto compiled = session.compile(
+          cfd::CompileRequest(source).options(variant));
+      if (!compiled) {
+        std::cerr << "FAIL: " << compiled.errorText() << "\n";
+        std::exit(1);
+      }
+      result.systems.push_back(compiled->flow().systemDesign().str());
+    }
+  result.wallMillis =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  result.stats = session.stats();
+  return result;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  // 25 polynomial degrees x 2 kernel families x 4 HLS clock points =
+  // 200 (extents 4..28 all satisfy the Eq. 3 feasibility bound on the
+  // default device).
+  const int degrees = argc > 1 ? std::atoi(argv[1]) : 25;
+  const int clocks = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  cfd::bench::printHeader(
+      "persistent artifact store: cold process vs disk-warm process");
+  std::cout << "  " << degrees * 2 * clocks << "-point sweep (" << degrees
+            << " Inverse Helmholtz degrees x 2 kernel families x "
+            << clocks << " HLS clocks, 1 worker, fresh Session per run)\n\n";
+
+  std::vector<std::string> sources;
+  sources.reserve(2 * degrees);
+  for (int i = 0; i < degrees; ++i)
+    for (bool smoothed : {false, true})
+      sources.push_back(kernelSource(4 + i, smoothed));
+  std::vector<cfd::FlowOptions> variants;
+  variants.reserve(clocks);
+  for (int i = 0; i < clocks; ++i) {
+    cfd::FlowOptions options;
+    options.hls.clockMHz = 100.0 + 20.0 * i;
+    variants.push_back(options);
+  }
+
+  const std::string cacheDir =
+      (std::filesystem::temp_directory_path() / "cfd_bench_store").string();
+  std::filesystem::remove_all(cacheDir);
+
+  const RunResult cold = runSweep(sources, variants, cacheDir);
+  const RunResult warm = runSweep(sources, variants, cacheDir);
+  std::filesystem::remove_all(cacheDir);
+
+  // The disk tier must not change a single output byte.
+  for (std::size_t i = 0; i < cold.systems.size(); ++i)
+    if (cold.systems[i] != warm.systems[i]) {
+      std::cerr << "FAIL: disk-warm artifact differs from cold at point "
+                << i << "\n";
+      return 1;
+    }
+
+  const auto& coldStore = cold.stats.artifactStore;
+  const auto& warmStore = warm.stats.artifactStore;
+  const double speedup =
+      warm.wallMillis > 0 ? cold.wallMillis / warm.wallMillis : 0.0;
+  std::cout << "  cold process      "
+            << cfd::formatFixed(cold.wallMillis, 1) << " ms ("
+            << cold.stats.stageCache.misses << " stage computes, "
+            << coldStore.publishes << " publishes)\n";
+  std::cout << "  disk-warm process "
+            << cfd::formatFixed(warm.wallMillis, 1) << " ms ("
+            << warmStore.hits << " disk loads, "
+            << warm.stats.stageCache.hits << " stage hits / "
+            << warm.stats.stageCache.misses << " stage misses)\n";
+  std::cout << "  speedup           " << cfd::formatFixed(speedup, 1)
+            << "x (target >= 5x)\n";
+
+  cfd::json::Value report = cfd::json::Value::object();
+  report.set("schema", "cfd-store-v1");
+  report.set("points", degrees * 2 * clocks);
+  cfd::json::Value timing = cfd::json::Value::object();
+  timing.set("cold_ms", cold.wallMillis);
+  timing.set("warm_ms", warm.wallMillis);
+  timing.set("speedup", speedup);
+  report.set("timing", std::move(timing));
+  cfd::json::Value store = cfd::json::Value::object();
+  store.set("cold_publishes", coldStore.publishes);
+  store.set("warm_disk_hits", warmStore.hits);
+  store.set("warm_verify_failures", warmStore.verifyFailures);
+  store.set("warm_stage_hits", warm.stats.stageCache.hits);
+  store.set("warm_stage_misses", warm.stats.stageCache.misses);
+  report.set("store", std::move(store));
+  cfd::bench::writeBenchReport("store", report);
+
+  // A disk-warm process must never recompute a stage or fail a verify.
+  if (warm.stats.stageCache.misses != 0 || warmStore.verifyFailures != 0) {
+    std::cerr << "\nFAIL: disk-warm process recomputed stages or failed "
+                 "verification\n";
+    return 1;
+  }
+  if (speedup < 5.0) {
+    std::cerr << "\nFAIL: disk-warm speedup below 5x\n";
+    return 1;
+  }
+  std::cout << "\n  OK: disk-warm process is >= 5x faster and "
+               "byte-identical\n";
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <sstream>
 #include <unordered_map>
 
@@ -79,8 +80,25 @@ Session::Session(SessionOptions options)
     : sessionOptions_(std::move(options)), defaults_(sessionOptions_.defaults),
       pool_(sessionOptions_.workers) {
   cache_.setCapacity(sessionOptions_.flowCacheCapacity);
-  if (StageCache* stages = cache_.stageCache())
+  std::string cacheDir = sessionOptions_.cacheDir;
+  if (cacheDir.empty())
+    if (const char* env = std::getenv("CFD_CACHE_DIR"))
+      cacheDir = env;
+  if (!cacheDir.empty()) {
+    auto candidate = std::make_unique<store::ArtifactStore>(
+        store::ArtifactStoreOptions{cacheDir,
+                                    sessionOptions_.artifactStoreBytes});
+    // An unusable root (e.g. a path that cannot be created) silently
+    // degrades to the in-memory-only session rather than failing
+    // construction.
+    if (candidate->enabled())
+      store_ = std::move(candidate);
+  }
+  if (StageCache* stages = cache_.stageCache()) {
     stages->setCapacityBytes(sessionOptions_.stageCacheBytes);
+    if (store_)
+      stages->setArtifactStore(store_.get());
+  }
 }
 
 Session::~Session() {
@@ -544,6 +562,10 @@ Session::Stats Session::stats() const {
   stats.flowCache = cache_.stats();
   if (const StageCache* stages = cache_.stageCache())
     stats.stageCache = stages->stats();
+  if (store_) {
+    stats.artifactStore = store_->stats();
+    stats.artifactStoreEnabled = true;
+  }
   stats.workerThreads = pool_.threadCount();
   stats.workersStarted = pool_.started();
   return stats;
@@ -576,6 +598,16 @@ std::string Session::statsReport() const {
                         (1024.0 * 1024.0),
                     2)
      << " MB)\n";
+  if (stats.artifactStoreEnabled) {
+    os << "  artifact store: " << stats.artifactStore.hits << " hits / "
+       << stats.artifactStore.misses << " misses ("
+       << stats.artifactStore.verifyFailures << " verify failures, "
+       << stats.artifactStore.publishes << " publishes, "
+       << stats.artifactStore.evictions << " evictions, "
+       << stats.artifactStore.staleTmpRemoved << " stale tmp removed)\n";
+  } else {
+    os << "  artifact store: disabled\n";
+  }
   return os.str();
 }
 

@@ -39,6 +39,7 @@
 #include "core/Job.h"
 #include "core/Tuner.h"
 #include "core/WorkerPool.h"
+#include "store/ArtifactStore.h"
 #include "support/Expected.h"
 
 #include <cstdint>
@@ -286,6 +287,13 @@ struct SessionOptions {
   std::size_t flowCacheCapacity = FlowCache::kDefaultCapacity;
   /// Stage-artifact cache bound in approximate bytes (0 = unbounded).
   std::size_t stageCacheBytes = StageCache::kDefaultCapacityBytes;
+  /// Root of the persistent artifact store (DESIGN.md §13). Resolution:
+  /// this field when non-empty, else the CFD_CACHE_DIR environment
+  /// variable, else disabled — an in-memory-only session.
+  std::string cacheDir;
+  /// On-disk byte bound the store's GC enforces (0 = unbounded).
+  std::size_t artifactStoreBytes =
+      store::ArtifactStoreOptions::kDefaultCapacityBytes;
 };
 
 /// A thread-safe, long-lived compilation service. Construction is cheap
@@ -357,6 +365,8 @@ public:
   /// Null when incremental compilation was disabled via
   /// flowCache().setStageCache(nullptr).
   StageCache* stageCache() { return cache_.stageCache(); }
+  /// The persistent second tier; null when no cache dir is configured.
+  store::ArtifactStore* artifactStore() { return store_.get(); }
   WorkerPool& workerPool() { return pool_; }
 
   struct Stats {
@@ -374,6 +384,11 @@ public:
     std::int64_t jobsRunning = 0;
     FlowCache::Stats flowCache;
     StageCache::Stats stageCache; ///< zero-valued when disabled
+    /// Persistent store counters; zero-valued when no cache dir is
+    /// configured (artifactStoreEnabled distinguishes "disabled" from
+    /// "enabled but untouched").
+    store::ArtifactStore::Stats artifactStore;
+    bool artifactStoreEnabled = false;
     int workerThreads = 1;
     bool workersStarted = false;
   };
@@ -428,6 +443,9 @@ private:
 
   std::shared_ptr<detail::JobCounters> jobCounters_ =
       std::make_shared<detail::JobCounters>();
+  // Declared before cache_: the stage cache holds a raw pointer into the
+  // store, so the store must be destroyed after it.
+  std::unique_ptr<store::ArtifactStore> store_;
   FlowCache cache_;
   WorkerPool pool_; // last member: destroyed (joined) first
 };

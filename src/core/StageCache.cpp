@@ -1,5 +1,7 @@
 #include "core/StageCache.h"
 
+#include "store/ArtifactStore.h"
+
 namespace cfd {
 
 std::size_t approxArtifactBytes(Stage stage,
@@ -62,24 +64,60 @@ std::size_t approxArtifactBytes(Stage stage,
 std::shared_ptr<const StageCacheEntry> StageCache::adoptLongestPrefix(
     const std::array<std::uint64_t, kStageCount>& keys, Stage goal,
     int skipStages, const std::string& source, const FlowOptions& options) {
-  std::lock_guard<std::mutex> lock(mutex_);
   for (int i = static_cast<int>(goal); i >= skipStages; --i) {
-    const auto it = entries_.find(keys[i]);
-    if (it == entries_.end())
-      continue;
-    const auto& entry = it->second.entry;
-    // Trust the 64-bit key only after full structural verification of
-    // everything the prefix reads (the producing stage, the source, and
-    // the consumed option subsets) — a collision degrades to a
-    // recompile, never a wrong adoption.
-    if (entry->stage != static_cast<Stage>(i) || entry->source != source ||
-        !prefixOptionsEqual(static_cast<Stage>(i), entry->options, options))
-      continue;
-    lruOrder_.splice(lruOrder_.end(), lruOrder_, it->second.lruPosition);
-    hits_ += i + 1 - skipStages;
-    return entry;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = entries_.find(keys[i]);
+      if (it != entries_.end()) {
+        const auto& entry = it->second.entry;
+        // Trust the 64-bit key only after full structural verification
+        // of everything the prefix reads (the producing stage, the
+        // source, and the consumed option subsets) — a collision
+        // degrades to a recompile, never a wrong adoption.
+        if (entry->stage == static_cast<Stage>(i) &&
+            entry->source == source &&
+            prefixOptionsEqual(static_cast<Stage>(i), entry->options,
+                               options)) {
+          lruOrder_.splice(lruOrder_.end(), lruOrder_, it->second.lruPosition);
+          hits_ += i + 1 - skipStages;
+          return entry;
+        }
+        continue;
+      }
+    }
+    // Second tier: a memory miss probes the persistent store (outside
+    // the lock — disk I/O must not serialize concurrent adopters). A
+    // verified disk entry enters the memory map so the next probe in
+    // this process hits without touching disk.
+    if (store_) {
+      if (auto entry = store_->load(keys[i], static_cast<Stage>(i), source,
+                                    options))
+        return adoptFromStore(keys[i], std::move(entry),
+                              i + 1 - skipStages);
+    }
   }
   return nullptr;
+}
+
+std::shared_ptr<const StageCacheEntry>
+StageCache::adoptFromStore(std::uint64_t key,
+                           std::shared_ptr<const StageCacheEntry> entry,
+                           int hitStages) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hits_ += hitStages;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // A concurrent compile published this key while we read the disk;
+    // converge on the in-memory entry.
+    lruOrder_.splice(lruOrder_.end(), lruOrder_, it->second.lruPosition);
+    return it->second.entry;
+  }
+  std::shared_ptr<const StageCacheEntry> adopted = std::move(entry);
+  lruOrder_.push_back(key);
+  entries_[key] = Node{adopted, std::prev(lruOrder_.end())};
+  totalBytes_ += adopted->approxBytes;
+  evictOverflowLocked(); // may evict the adoption itself under a tiny bound
+  return adopted;
 }
 
 void StageCache::insert(std::uint64_t key, Stage stage,
@@ -95,19 +133,28 @@ void StageCache::insert(std::uint64_t key, Stage stage,
   entry->approxBytes = approxArtifactBytes(stage, entry->artifacts) +
                        source.size() + sizeof(StageCacheEntry);
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++misses_;
-  const auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    // First writer wins: concurrent compiles of one prefix converge on
-    // the already-published artifact set.
-    lruOrder_.splice(lruOrder_.end(), lruOrder_, it->second.lruPosition);
-    return;
+  bool isNew = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      // First writer wins: concurrent compiles of one prefix converge
+      // on the already-published artifact set.
+      lruOrder_.splice(lruOrder_.end(), lruOrder_, it->second.lruPosition);
+    } else {
+      lruOrder_.push_back(key);
+      entries_[key] = Node{entry, std::prev(lruOrder_.end())};
+      totalBytes_ += entry->approxBytes;
+      evictOverflowLocked();
+      isNew = true;
+    }
   }
-  lruOrder_.push_back(key);
-  entries_[key] = Node{std::move(entry), std::prev(lruOrder_.end())};
-  totalBytes_ += entries_[key].entry->approxBytes;
-  evictOverflowLocked();
+  // Persist newly computed prefixes outside the lock; the store's own
+  // exists-check keeps concurrent processes from re-serializing a key
+  // another process already published.
+  if (isNew && store_)
+    store_->publish(key, stage, entry->artifacts, source, options);
 }
 
 void StageCache::setCapacityBytes(std::size_t bytes) {

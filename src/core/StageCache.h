@@ -35,6 +35,10 @@
 
 namespace cfd {
 
+namespace store {
+class ArtifactStore;
+} // namespace store
+
 /// The memory-plan stage produces two coupled results; they are cached
 /// as one artifact.
 struct MemoryPlanArtifact {
@@ -123,8 +127,23 @@ public:
   /// whose shared prefix is already warm (DESIGN.md §11).
   bool contains(std::uint64_t key) const;
 
+  /// Attaches the persistent second tier (DESIGN.md §13). Not owned and
+  /// must outlive the cache; set once before concurrent use. With a
+  /// store attached, adoptLongestPrefix falls back to a disk probe on a
+  /// memory miss (disk hits enter the memory map without counting a
+  /// miss) and insert publishes genuinely-new prefixes to disk.
+  void setArtifactStore(store::ArtifactStore* artifactStore) {
+    store_ = artifactStore;
+  }
+  store::ArtifactStore* artifactStore() const { return store_; }
+
 private:
   void evictOverflowLocked();
+  /// Caches a disk-loaded entry in the memory tier (no miss counted;
+  /// the stage was not recomputed) and credits the adoption hits.
+  std::shared_ptr<const StageCacheEntry>
+  adoptFromStore(std::uint64_t key,
+                 std::shared_ptr<const StageCacheEntry> entry, int hitStages);
 
   mutable std::mutex mutex_;
   struct Node {
@@ -133,6 +152,7 @@ private:
   };
   std::unordered_map<std::uint64_t, Node> entries_;
   std::list<std::uint64_t> lruOrder_; // front = least recently used
+  store::ArtifactStore* store_ = nullptr;
   std::size_t capacityBytes_ = kDefaultCapacityBytes;
   std::size_t totalBytes_ = 0;
   std::int64_t hits_ = 0;

@@ -34,6 +34,17 @@ public:
   std::size_t numAddressSpaceEdges() const { return addressSpace_.size(); }
   std::size_t numInterfaceEdges() const { return interface_.size(); }
 
+  /// Edge enumeration (each pair normalized smaller-id-first), for
+  /// serialization by store/ArtifactCodec.
+  const std::set<std::pair<ir::TensorId, ir::TensorId>>&
+  addressSpaceEdges() const {
+    return addressSpace_;
+  }
+  const std::set<std::pair<ir::TensorId, ir::TensorId>>&
+  interfaceEdges() const {
+    return interface_;
+  }
+
   /// Graphviz rendering (solid = address-space, dashed = interface).
   std::string dot(const ir::Program& program) const;
 

@@ -1,0 +1,316 @@
+#include "store/ArtifactStore.h"
+
+#include "store/ArtifactCodec.h"
+#include "support/Hash.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace cfd::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// "CFDA" little-endian.
+constexpr std::uint32_t kMagic = 0x41444643u;
+constexpr const char* kEntrySuffix = ".cfda";
+/// A healthy publish takes milliseconds; a `.tmp` this old can only be
+/// a crashed publisher's leftover.
+constexpr auto kStaleTmpAge = std::chrono::minutes(15);
+
+std::uint64_t checksum(std::string_view bytes) {
+  Fnv1aHasher hasher;
+  hasher.mix(bytes);
+  return hasher.value();
+}
+
+std::string keyFileName(std::uint64_t key) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(key));
+  return std::string(hex) + kEntrySuffix;
+}
+
+bool readWholeFile(const fs::path& path, std::string& bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  bytes = std::move(buffer).str();
+  return in.good() || in.eof();
+}
+
+} // namespace
+
+ArtifactStore::ArtifactStore(ArtifactStoreOptions options)
+    : options_(std::move(options)) {
+  if (options_.root.empty())
+    return;
+  std::error_code ec;
+  fs::create_directories(options_.root, ec);
+  enabled_ = !ec && fs::is_directory(options_.root, ec);
+  if (enabled_)
+    approxDiskBytes_ = diskBytes();
+}
+
+std::string ArtifactStore::entryPath(std::uint64_t key) const {
+  return (fs::path(options_.root) / keyFileName(key)).string();
+}
+
+std::string ArtifactStore::encodeEntry(std::uint64_t key, Stage stage,
+                                       const StageArtifacts& artifacts,
+                                       const std::string& source,
+                                       const FlowOptions& options) const {
+  const std::string payload = encodePrefix(stage, artifacts);
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u32(kFormatVersion);
+  w.u32(static_cast<std::uint32_t>(stage));
+  w.u64(key);
+  w.str(source);
+  // One fingerprint per covered stage: the echo a reader checks against
+  // its own (normalized) options. Structural option equality cannot be
+  // verified across processes without serializing FlowOptions, so the
+  // disk tier's collision guard is (source text) + (per-stage 64-bit
+  // fingerprints) — and the in-memory tier re-verifies structurally on
+  // every adoption after the entry is cached.
+  const int last = static_cast<int>(stage);
+  w.u32(static_cast<std::uint32_t>(last + 1));
+  for (int i = 0; i <= last; ++i)
+    w.u64(stageOptionsFingerprint(static_cast<Stage>(i), options));
+  w.u64(checksum(payload));
+  w.str(payload);
+  return w.take();
+}
+
+std::shared_ptr<const StageCacheEntry>
+ArtifactStore::load(std::uint64_t key, Stage stage,
+                    const std::string& source,
+                    const FlowOptions& options) {
+  if (!enabled_)
+    return nullptr;
+  const fs::path path = entryPath(key);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    return nullptr;
+  }
+
+  std::string bytes;
+  const auto reject = [this]() -> std::shared_ptr<const StageCacheEntry> {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.verifyFailures;
+    return nullptr;
+  };
+  if (!readWholeFile(path, bytes))
+    return reject();
+
+  try {
+    ByteReader r(bytes);
+    if (r.u32() != kMagic || r.u32() != kFormatVersion ||
+        r.u32() != static_cast<std::uint32_t>(stage) || r.u64() != key)
+      return reject();
+    if (r.str() != source)
+      return reject();
+    const std::uint32_t numFingerprints = r.u32();
+    if (numFingerprints != static_cast<std::uint32_t>(stage) + 1)
+      return reject();
+    for (std::uint32_t i = 0; i < numFingerprints; ++i)
+      if (r.u64() !=
+          stageOptionsFingerprint(static_cast<Stage>(i), options))
+        return reject();
+    const std::uint64_t expectedChecksum = r.u64();
+    const std::string payload = r.str();
+    if (!r.atEnd() || checksum(payload) != expectedChecksum)
+      return reject();
+
+    auto entry = std::make_shared<StageCacheEntry>();
+    entry->stage = stage;
+    entry->artifacts = decodePrefix(stage, payload, options);
+    entry->source = source;
+    entry->options = options;
+    entry->approxBytes = approxArtifactBytes(stage, entry->artifacts) +
+                         source.size() + sizeof(StageCacheEntry);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    return entry;
+  } catch (const std::exception&) {
+    // CodecError on malformed bytes, or an internal invariant tripping
+    // on checksum-valid-but-inconsistent data: either way the contract
+    // is "corruption is a miss, never a crash".
+    return reject();
+  }
+}
+
+void ArtifactStore::publish(std::uint64_t key, Stage stage,
+                            const StageArtifacts& artifacts,
+                            const std::string& source,
+                            const FlowOptions& options) {
+  if (!enabled_)
+    return;
+  const fs::path path = entryPath(key);
+  std::error_code ec;
+  if (fs::exists(path, ec))
+    return; // first writer won; contents are content-derived anyway
+
+  std::string bytes;
+  try {
+    bytes = encodeEntry(key, stage, artifacts, source, options);
+  } catch (const std::exception&) {
+    return; // an unencodable prefix is not publishable; keep compiling
+  }
+
+  std::uint64_t sequence = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sequence = tmpSequence_++;
+  }
+  const fs::path tmp =
+      path.string() + "." + std::to_string(::getpid()) + "." +
+      std::to_string(sequence) + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return;
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) {
+      out.close();
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  // The atomic publish: readers see either no file or the whole file.
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return;
+  }
+
+  bool overCapacity = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.publishes;
+    approxDiskBytes_ += bytes.size();
+    overCapacity = options_.capacityBytes != 0 &&
+                   approxDiskBytes_ > options_.capacityBytes;
+  }
+  if (overCapacity)
+    collectGarbage();
+}
+
+void ArtifactStore::collectGarbage() {
+  if (!enabled_)
+    return;
+  struct EntryFile {
+    fs::path path;
+    std::uintmax_t size = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<EntryFile> entries;
+  std::uintmax_t totalBytes = 0;
+  std::int64_t staleRemoved = 0;
+  std::error_code ec;
+  const auto now = fs::file_time_type::clock::now();
+  for (const fs::directory_entry& item :
+       fs::directory_iterator(options_.root, ec)) {
+    if (!item.is_regular_file(ec))
+      continue;
+    const std::string name = item.path().filename().string();
+    const fs::file_time_type mtime = item.last_write_time(ec);
+    if (ec)
+      continue;
+    if (name.ends_with(".tmp")) {
+      if (now - mtime > kStaleTmpAge && fs::remove(item.path(), ec))
+        ++staleRemoved;
+      continue;
+    }
+    if (!name.ends_with(kEntrySuffix))
+      continue;
+    EntryFile entry;
+    entry.path = item.path();
+    entry.size = item.file_size(ec);
+    if (ec)
+      continue;
+    entry.mtime = mtime;
+    totalBytes += entry.size;
+    entries.push_back(std::move(entry));
+  }
+
+  std::size_t capacity = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity = options_.capacityBytes;
+    stats_.staleTmpRemoved += staleRemoved;
+  }
+
+  std::int64_t evicted = 0;
+  if (capacity != 0 && totalBytes > capacity) {
+    std::sort(entries.begin(), entries.end(),
+              [](const EntryFile& a, const EntryFile& b) {
+                return a.mtime < b.mtime;
+              });
+    for (const EntryFile& entry : entries) {
+      if (totalBytes <= capacity)
+        break;
+      if (!fs::remove(entry.path, ec) || ec)
+        continue;
+      totalBytes -= entry.size;
+      ++evicted;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.evictions += evicted;
+  approxDiskBytes_ = static_cast<std::size_t>(totalBytes);
+}
+
+void ArtifactStore::setCapacityBytes(std::size_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    options_.capacityBytes = bytes;
+  }
+  collectGarbage();
+}
+
+ArtifactStore::Stats ArtifactStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ArtifactStore::entryCount() const {
+  if (!enabled_)
+    return 0;
+  std::size_t count = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& item :
+       fs::directory_iterator(options_.root, ec))
+    if (item.is_regular_file(ec) &&
+        item.path().filename().string().ends_with(kEntrySuffix))
+      ++count;
+  return count;
+}
+
+std::size_t ArtifactStore::diskBytes() const {
+  if (!enabled_)
+    return 0;
+  std::uintmax_t bytes = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& item :
+       fs::directory_iterator(options_.root, ec))
+    if (item.is_regular_file(ec) &&
+        item.path().filename().string().ends_with(kEntrySuffix))
+      bytes += item.file_size(ec);
+  return static_cast<std::size_t>(bytes);
+}
+
+} // namespace cfd::store

@@ -1,0 +1,136 @@
+// Golden diagnostics (ROADMAP item 5a): the exact `--diagnostics=json`
+// payload per bad input is pinned, so error-message or JSON-shape
+// drift — which breaks tooling that parses cfdc's structured output —
+// fails a test instead of shipping silently. The JSON here is built
+// exactly as tools/cfdc.cpp reportDiagnostics builds it: a
+// {"schema": "cfd-diagnostics-v1", "diagnostics": [...]} object
+// rendered with dump(2).
+#include "core/Session.h"
+#include "support/Json.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+
+namespace cfd {
+namespace {
+
+/// Renders `diagnostics` as cfdc --diagnostics=json prints them.
+std::string renderJson(const DiagnosticList& diagnostics) {
+  json::Value root = json::Value::object();
+  root.set("schema", "cfd-diagnostics-v1");
+  root.set("diagnostics", diagnostics.toJson());
+  return root.dump(2);
+}
+
+constexpr const char* kValidSource = R"(var input A : [4]
+var output B : [4]
+B = A
+)";
+
+TEST(DiagnosticsGoldenTest, ParseError) {
+  Session session;
+  const auto result =
+      session.compile(CompileRequest("var input A : [4\nB = A\n"));
+  ASSERT_FALSE(result);
+  EXPECT_EQ(renderJson(result.diagnostics()),
+            R"json({
+  "schema": "cfd-diagnostics-v1",
+  "diagnostics": [
+    {
+      "severity": "error",
+      "message": "expected ']' to close a shape, found B",
+      "stage": "parse",
+      "line": 2,
+      "column": 1
+    }
+  ]
+})json");
+}
+
+TEST(DiagnosticsGoldenTest, BadOptionValue) {
+  Session session;
+  const auto result = session.compile(
+      CompileRequest(kValidSource).set("unroll", "banana"));
+  ASSERT_FALSE(result);
+  EXPECT_EQ(renderJson(result.diagnostics()),
+            R"json({
+  "schema": "cfd-diagnostics-v1",
+  "diagnostics": [
+    {
+      "severity": "error",
+      "message": "parameter 'unroll' expects an integer (got 'banana')",
+      "stage": "options"
+    }
+  ]
+})json");
+}
+
+TEST(DiagnosticsGoldenTest, UnknownSweepAxis) {
+  Session session;
+  // Axis validation probes every declared value, so one bad key is
+  // reported once per value — pinned as-is.
+  const auto result = session.sweep(
+      SweepRequest(kValidSource).axis("warp", {"1", "2"}));
+  ASSERT_FALSE(result);
+  EXPECT_EQ(renderJson(result.diagnostics()),
+            R"json({
+  "schema": "cfd-diagnostics-v1",
+  "diagnostics": [
+    {
+      "severity": "error",
+      "message": "unknown parameter 'warp' (valid: unroll, opt, m, k, sharing, decoupled, objective, layout)",
+      "stage": "options"
+    },
+    {
+      "severity": "error",
+      "message": "unknown parameter 'warp' (valid: unroll, opt, m, k, sharing, decoupled, objective, layout)",
+      "stage": "options"
+    }
+  ]
+})json");
+}
+
+TEST(DiagnosticsGoldenTest, DeadlineExpiredJob) {
+  Session session(SessionOptions{.workers = 1});
+  // Deterministic queued expiry: occupy the single worker until the
+  // 1 ms deadline is long past, so the job is cancelled before it ever
+  // starts and the "while queued" variant is the one pinned.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future().share());
+  std::atomic<int> running{0};
+  session.workerPool().post(
+      [&] {
+        ++running;
+        gate.wait();
+      },
+      WorkerPool::kPriorityHigh);
+  while (running.load() < 1)
+    std::this_thread::yield();
+
+  Job<CompileResult> job = session.submitCompile(
+      CompileRequest(test::kInverseHelmholtz), {.deadlineMillis = 1});
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  release.set_value();
+  const Expected<CompileResult>& result = job.wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(job.state(), JobState::Cancelled);
+  EXPECT_EQ(renderJson(result.diagnostics()),
+            R"json({
+  "schema": "cfd-diagnostics-v1",
+  "diagnostics": [
+    {
+      "severity": "error",
+      "message": "deadline exceeded while queued",
+      "stage": "job-queue"
+    }
+  ]
+})json");
+}
+
+} // namespace
+} // namespace cfd

@@ -1,0 +1,431 @@
+// Persistent artifact store (DESIGN.md §13): binary codec round-trips,
+// cold-process prefix adoption through a shared disk store, GC eviction
+// order, and the fault-injection contract — every corruption is a clean
+// miss, never a crash.
+#include "core/Pipeline.h"
+#include "core/Session.h"
+#include "store/ArtifactCodec.h"
+#include "store/ArtifactStore.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cfd {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh, empty directory under the system temp root, removed when
+/// the fixture goes away (each test gets its own store root).
+class StoreTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    root_ = (fs::temp_directory_path() /
+             ("cfd_store_test_" +
+              std::string(::testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->name())))
+                .string();
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string root_;
+};
+
+/// Compiles `source` fully and hands back the pipeline (the artifact
+/// prefix plus its stage keys and normalized options).
+std::unique_ptr<Pipeline> compileAll(const std::string& source,
+                                     FlowOptions options = {}) {
+  auto pipeline = std::make_unique<Pipeline>(source, std::move(options));
+  pipeline->runAll();
+  return pipeline;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void writeFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---- Codec round-trips ----
+
+TEST(ArtifactCodecTest, EveryStageRoundTripsByteIdentically) {
+  for (const char* source :
+       {test::kInverseHelmholtz, test::kInterpolation}) {
+    const auto pipeline = compileAll(source);
+    for (int i = 0; i < kStageCount; ++i) {
+      const Stage stage = static_cast<Stage>(i);
+      const std::string payload =
+          store::encodePrefix(stage, pipeline->artifacts());
+      const StageArtifacts decoded =
+          store::decodePrefix(stage, payload, pipeline->options());
+      // Byte-identical re-serialization is the codec's round-trip
+      // invariant: encode(decode(encode(P))) == encode(P).
+      EXPECT_EQ(store::encodePrefix(stage, decoded), payload)
+          << "stage " << i;
+    }
+  }
+}
+
+TEST(ArtifactCodecTest, DecodedArtifactsAreSemanticallyEqual) {
+  const auto pipeline = compileAll(test::kInverseHelmholtz);
+  const std::string payload =
+      store::encodePrefix(Stage::SysGen, pipeline->artifacts());
+  const StageArtifacts decoded =
+      store::decodePrefix(Stage::SysGen, payload, pipeline->options());
+
+  EXPECT_EQ(decoded.program->str(), pipeline->artifacts().program->str());
+  EXPECT_EQ(decoded.optimized->program.str(),
+            pipeline->artifacts().optimized->program.str());
+  EXPECT_EQ(decoded.system->str(), pipeline->artifacts().system->str());
+  // The decoded schedule's non-serialized members are re-derived: the
+  // program pointer targets the *decoded* optimize artifact (never the
+  // encoder's), and layouts are re-materialized from it.
+  EXPECT_EQ(decoded.schedule->program, &decoded.optimized->program);
+  EXPECT_EQ(decoded.referenceSchedule->program, &decoded.optimized->program);
+  EXPECT_EQ(decoded.schedule->statements.size(),
+            pipeline->artifacts().schedule->statements.size());
+}
+
+TEST(ArtifactCodecTest, TruncatedPayloadThrowsCodecError) {
+  const auto pipeline = compileAll(test::kInverseHelmholtz);
+  const std::string payload =
+      store::encodePrefix(Stage::SysGen, pipeline->artifacts());
+  EXPECT_THROW(store::decodePrefix(
+                   Stage::SysGen,
+                   std::string_view(payload).substr(0, payload.size() / 2),
+                   pipeline->options()),
+               store::CodecError);
+  EXPECT_THROW(
+      store::decodePrefix(Stage::SysGen, payload + "x", pipeline->options()),
+      store::CodecError);
+}
+
+// ---- Store: publish, load, verification ----
+
+TEST_F(StoreTest, PublishedEntryLoadsAndVerifies) {
+  const auto pipeline = compileAll(test::kInverseHelmholtz);
+  store::ArtifactStore store({root_});
+  ASSERT_TRUE(store.enabled());
+
+  const std::uint64_t key = pipeline->stageKey(Stage::SysGen);
+  store.publish(key, Stage::SysGen, pipeline->artifacts(),
+                pipeline->source(), pipeline->options());
+  EXPECT_EQ(store.stats().publishes, 1);
+  EXPECT_EQ(store.entryCount(), 1u);
+  EXPECT_TRUE(fs::exists(store.entryPath(key)));
+
+  const auto entry = store.load(key, Stage::SysGen, pipeline->source(),
+                                pipeline->options());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->stage, Stage::SysGen);
+  EXPECT_EQ(entry->source, pipeline->source());
+  EXPECT_EQ(entry->artifacts.system->str(),
+            pipeline->artifacts().system->str());
+  EXPECT_GT(entry->approxBytes, 0u);
+  EXPECT_EQ(store.stats().hits, 1);
+}
+
+TEST_F(StoreTest, AbsentKeyIsAMiss) {
+  store::ArtifactStore store({root_});
+  const auto pipeline = compileAll(test::kInterpolation);
+  EXPECT_EQ(store.load(0xdeadbeefULL, Stage::Parse, pipeline->source(),
+                       pipeline->options()),
+            nullptr);
+  EXPECT_EQ(store.stats().misses, 1);
+  EXPECT_EQ(store.stats().verifyFailures, 0);
+}
+
+TEST_F(StoreTest, DifferentOptionsRejectTheEntry) {
+  const auto pipeline = compileAll(test::kInverseHelmholtz);
+  store::ArtifactStore store({root_});
+  const std::uint64_t key = pipeline->stageKey(Stage::SysGen);
+  store.publish(key, Stage::SysGen, pipeline->artifacts(),
+                pipeline->source(), pipeline->options());
+
+  // A same-key probe under different consumed options must fail the
+  // fingerprint echo (keys are Merkle-derived, so this only happens on
+  // a 64-bit collision — verification is the collision guard).
+  FlowOptions other = pipeline->options();
+  other.hls.clockMHz = other.hls.clockMHz + 100;
+  EXPECT_EQ(store.load(key, Stage::SysGen, pipeline->source(), other),
+            nullptr);
+  EXPECT_EQ(store.stats().verifyFailures, 1);
+
+  // Same for a different source text.
+  EXPECT_EQ(store.load(key, Stage::SysGen, "var input x : [2]\n",
+                       pipeline->options()),
+            nullptr);
+  EXPECT_EQ(store.stats().verifyFailures, 2);
+}
+
+TEST_F(StoreTest, UnusableRootDisablesTheStore) {
+  // A root under a regular file cannot be created.
+  const std::string file = root_ + "_file";
+  writeFile(file, "not a directory");
+  store::ArtifactStore store({file + "/sub"});
+  EXPECT_FALSE(store.enabled());
+
+  const auto pipeline = compileAll(test::kInterpolation);
+  EXPECT_EQ(store.load(1, Stage::Parse, pipeline->source(),
+                       pipeline->options()),
+            nullptr);
+  store.publish(1, Stage::Parse, pipeline->artifacts(), pipeline->source(),
+                pipeline->options()); // must not throw
+  EXPECT_EQ(store.stats().publishes, 0);
+  fs::remove(file);
+}
+
+// ---- Cold-process prefix adoption through Session ----
+
+TEST_F(StoreTest, ColdSessionAdoptsFullPrefixFromDisk) {
+  std::string warmSystem;
+  {
+    Session warm(SessionOptions{.cacheDir = root_});
+    auto result = warm.compile(CompileRequest(test::kInverseHelmholtz));
+    ASSERT_TRUE(result);
+    warmSystem = result->flow().systemDesign().str();
+    const auto stats = warm.stats();
+    EXPECT_TRUE(stats.artifactStoreEnabled);
+    EXPECT_EQ(stats.artifactStore.publishes, kStageCount);
+    EXPECT_EQ(stats.artifactStore.hits, 0);
+  }
+
+  // A brand-new Session — fresh in-memory caches, shared disk store —
+  // must adopt the full parse..sysgen prefix: every stage is a cache
+  // hit served by one disk load, and the artifacts are byte-identical.
+  Session cold(SessionOptions{.cacheDir = root_});
+  auto result = cold.compile(CompileRequest(test::kInverseHelmholtz));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->flow().systemDesign().str(), warmSystem);
+
+  const auto stats = cold.stats();
+  EXPECT_EQ(stats.artifactStore.hits, 1);
+  EXPECT_EQ(stats.artifactStore.verifyFailures, 0);
+  EXPECT_EQ(stats.stageCache.hits, kStageCount);
+  EXPECT_EQ(stats.stageCache.misses, 0);
+}
+
+TEST_F(StoreTest, ColdSessionAdoptsSharedPrefixUnderChangedHlsOptions) {
+  {
+    Session warm(SessionOptions{.cacheDir = root_});
+    ASSERT_TRUE(warm.compile(CompileRequest(test::kInverseHelmholtz)));
+  }
+
+  // Changing an HLS-only option invalidates the hls/sysgen keys but the
+  // parse..memory-plan prefix (7 stages) is shared and must come from
+  // disk.
+  FlowOptions options;
+  options.hls.clockMHz = 250;
+  Session cold(SessionOptions{.cacheDir = root_});
+  ASSERT_TRUE(cold.compile(
+      CompileRequest(test::kInverseHelmholtz).options(options)));
+
+  const auto stats = cold.stats();
+  EXPECT_EQ(stats.artifactStore.hits, 1);
+  EXPECT_EQ(stats.stageCache.hits,
+            static_cast<int>(Stage::MemoryPlan) + 1);
+  // Only hls and sysgen were recomputed (and published for the next
+  // process).
+  EXPECT_EQ(stats.stageCache.misses, 2);
+  EXPECT_EQ(stats.artifactStore.publishes, 2);
+}
+
+// ---- GC: byte bound, mtime order, stale tmp sweeping ----
+
+TEST_F(StoreTest, GcEvictsOldestMtimeFirstUntilUnderTheBound) {
+  store::ArtifactStore store({root_, /*capacityBytes=*/0}); // unbounded
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uintmax_t> sizes;
+  for (int extent : {5, 6, 7, 8}) {
+    const auto pipeline = compileAll(test::inverseHelmholtzSource(extent));
+    const std::uint64_t key = pipeline->stageKey(Stage::SysGen);
+    store.publish(key, Stage::SysGen, pipeline->artifacts(),
+                  pipeline->source(), pipeline->options());
+    keys.push_back(key);
+    sizes.push_back(fs::file_size(store.entryPath(key)));
+  }
+  ASSERT_EQ(store.entryCount(), 4u);
+
+  // Pin a strictly increasing mtime order (publish order, seconds
+  // apart, so filesystem timestamp granularity cannot reorder them).
+  const auto base = fs::file_time_type::clock::now();
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    fs::last_write_time(store.entryPath(keys[i]),
+                        base - std::chrono::seconds(60 - 10 * i));
+
+  // Bound to exactly the two newest entries: the two oldest must go,
+  // in mtime order, and the newest two must survive.
+  store.setCapacityBytes(static_cast<std::size_t>(sizes[2] + sizes[3]));
+  EXPECT_EQ(store.stats().evictions, 2);
+  EXPECT_FALSE(fs::exists(store.entryPath(keys[0])));
+  EXPECT_FALSE(fs::exists(store.entryPath(keys[1])));
+  EXPECT_TRUE(fs::exists(store.entryPath(keys[2])));
+  EXPECT_TRUE(fs::exists(store.entryPath(keys[3])));
+  EXPECT_LE(store.diskBytes(), sizes[2] + sizes[3]);
+}
+
+TEST_F(StoreTest, GcSweepsStaleTmpFilesAndKeepsFreshOnes) {
+  store::ArtifactStore store({root_});
+  const std::string stale = root_ + "/0123456789abcdef.cfda.999.0.tmp";
+  const std::string fresh = root_ + "/fedcba9876543210.cfda.999.1.tmp";
+  writeFile(stale, "half-written entry from a crashed publisher");
+  writeFile(fresh, "in-flight publish from a live process");
+  fs::last_write_time(stale,
+                      fs::file_time_type::clock::now() -
+                          std::chrono::hours(1));
+
+  store.collectGarbage();
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_TRUE(fs::exists(fresh));
+  EXPECT_EQ(store.stats().staleTmpRemoved, 1);
+  EXPECT_EQ(store.stats().evictions, 0);
+}
+
+// ---- Fault injection: every corruption is a clean miss ----
+
+class StoreFaultTest : public StoreTest {
+protected:
+  /// Publishes the full Inverse Helmholtz prefix and returns its key.
+  std::uint64_t publishEntry(store::ArtifactStore& store) {
+    pipeline_ = compileAll(test::kInverseHelmholtz);
+    const std::uint64_t key = pipeline_->stageKey(Stage::SysGen);
+    store.publish(key, Stage::SysGen, pipeline_->artifacts(),
+                  pipeline_->source(), pipeline_->options());
+    return key;
+  }
+
+  /// The corrupted entry must read as a verify-failure miss — and a
+  /// fresh Session pointed at the same store must still compile.
+  void expectCleanMiss(store::ArtifactStore& store, std::uint64_t key) {
+    EXPECT_EQ(store.load(key, Stage::SysGen, pipeline_->source(),
+                         pipeline_->options()),
+              nullptr);
+    EXPECT_EQ(store.stats().verifyFailures, 1);
+    EXPECT_EQ(store.stats().hits, 0);
+
+    Session session(SessionOptions{.cacheDir = root_});
+    auto result =
+        session.compile(CompileRequest(test::kInverseHelmholtz));
+    ASSERT_TRUE(result);
+    EXPECT_EQ(result->flow().systemDesign().str(),
+              pipeline_->artifacts().system->str());
+  }
+
+  std::unique_ptr<Pipeline> pipeline_;
+};
+
+TEST_F(StoreFaultTest, TruncatedEntryIsACleanMiss) {
+  store::ArtifactStore store({root_});
+  const std::uint64_t key = publishEntry(store);
+  fs::resize_file(store.entryPath(key),
+                  fs::file_size(store.entryPath(key)) / 2);
+  expectCleanMiss(store, key);
+}
+
+TEST_F(StoreFaultTest, FlippedPayloadByteIsACleanMiss) {
+  store::ArtifactStore store({root_});
+  const std::uint64_t key = publishEntry(store);
+  std::string bytes = readFile(store.entryPath(key));
+  bytes[bytes.size() - 16] ^= 0x40; // deep in the payload
+  writeFile(store.entryPath(key), bytes);
+  expectCleanMiss(store, key);
+}
+
+TEST_F(StoreFaultTest, BadFormatVersionIsACleanMiss) {
+  store::ArtifactStore store({root_});
+  const std::uint64_t key = publishEntry(store);
+  std::string bytes = readFile(store.entryPath(key));
+  bytes[4] = static_cast<char>(0xff); // version field follows the magic
+  writeFile(store.entryPath(key), bytes);
+  expectCleanMiss(store, key);
+}
+
+TEST_F(StoreFaultTest, GarbageEntryFileIsACleanMiss) {
+  store::ArtifactStore store({root_});
+  const std::uint64_t key = publishEntry(store);
+  writeFile(store.entryPath(key), "these are not the bytes of an entry");
+  expectCleanMiss(store, key);
+}
+
+TEST_F(StoreFaultTest, EmptyEntryFileIsACleanMiss) {
+  store::ArtifactStore store({root_});
+  const std::uint64_t key = publishEntry(store);
+  writeFile(store.entryPath(key), "");
+  expectCleanMiss(store, key);
+}
+
+TEST_F(StoreFaultTest, StaleTmpFromCrashedPublisherDoesNotBlockTheKey) {
+  store::ArtifactStore store({root_});
+  const auto pipeline = compileAll(test::kInverseHelmholtz);
+  const std::uint64_t key = pipeline->stageKey(Stage::SysGen);
+  // A crashed publisher left a half-written temp file for this key; it
+  // is not the entry, so probes miss cleanly and a later publish of the
+  // same key succeeds beside it.
+  writeFile(store.entryPath(key) + ".4242.0.tmp", "half-written");
+  EXPECT_EQ(store.load(key, Stage::SysGen, pipeline->source(),
+                       pipeline->options()),
+            nullptr);
+  EXPECT_EQ(store.stats().misses, 1);
+
+  store.publish(key, Stage::SysGen, pipeline->artifacts(),
+                pipeline->source(), pipeline->options());
+  EXPECT_NE(store.load(key, Stage::SysGen, pipeline->source(),
+                       pipeline->options()),
+            nullptr);
+}
+
+TEST_F(StoreFaultTest, RacingPublishersBothSucceed) {
+  const auto pipeline = compileAll(test::kInverseHelmholtz);
+  const std::uint64_t key = pipeline->stageKey(Stage::SysGen);
+
+  // Two stores on one directory stand in for two processes: both
+  // publish the same key concurrently; whoever's rename lands last
+  // wins, and the survivor must verify (the contents are identical by
+  // construction).
+  store::ArtifactStore a({root_});
+  store::ArtifactStore b({root_});
+  std::thread ta([&] {
+    for (int i = 0; i < 8; ++i) {
+      a.publish(key, Stage::SysGen, pipeline->artifacts(),
+                pipeline->source(), pipeline->options());
+      fs::remove(a.entryPath(key)); // reopen the race
+    }
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < 8; ++i)
+      b.publish(key, Stage::SysGen, pipeline->artifacts(),
+                pipeline->source(), pipeline->options());
+  });
+  ta.join();
+  tb.join();
+
+  store::ArtifactStore verify({root_});
+  verify.publish(key, Stage::SysGen, pipeline->artifacts(),
+                 pipeline->source(), pipeline->options());
+  const auto entry = verify.load(key, Stage::SysGen, pipeline->source(),
+                                 pipeline->options());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->artifacts.system->str(),
+            pipeline->artifacts().system->str());
+  // No leftover temp files: every publish either renamed or cleaned up.
+  for (const auto& item : fs::directory_iterator(root_))
+    EXPECT_FALSE(item.path().string().ends_with(".tmp"))
+        << item.path().string();
+}
+
+} // namespace
+} // namespace cfd

@@ -70,6 +70,7 @@ struct CliOptions {
   bool explainCache = false;
   bool stageCacheMbExplicit = false;
   int stageCacheMb = 0;
+  std::string cacheDir;
   bool tune = false;
   cfd::SearchStrategy strategy = cfd::SearchStrategy::Exhaustive;
   std::uint64_t seed = 1;
@@ -116,6 +117,12 @@ Single-shot compilation:
                            diagnostics (severity, stage, line/column)
                            as JSON on stdout instead of text on stderr;
                            the exit code stays 3
+  --cache-dir=DIR          root of the persistent artifact store
+                           (DESIGN.md §13); defaults to $CFD_CACHE_DIR,
+                           neither set = in-memory caches only. All
+                           modes use it: stage prefixes published by
+                           any earlier process are adopted from disk,
+                           and this process publishes its own
 
 Design-space search:
   --sweep=key=v1,v2,...    declare one axis (repeatable; axes combine as
@@ -284,6 +291,10 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
     } else if (consumeValue(arg, "--stage-cache-mb=", value)) {
       options.stageCacheMb = parseNonNegativeInt(value, "--stage-cache-mb");
       options.stageCacheMbExplicit = true;
+    } else if (consumeValue(arg, "--cache-dir=", value)) {
+      if (value.empty())
+        usage("--cache-dir expects a directory path");
+      options.cacheDir = value;
     } else if (arg == "--tune") {
       options.tune = true;
     } else if (consumeValue(arg, "--tune=", value)) {
@@ -806,7 +817,8 @@ int main(int argc, char** argv) {
   // clamped.
   cfd::Session session(cfd::SessionOptions{
       .workers =
-          options.asyncJobsExplicit ? options.asyncJobs : options.jobs});
+          options.asyncJobsExplicit ? options.asyncJobs : options.jobs,
+      .cacheDir = options.cacheDir});
 
   try {
     if (options.tune)
