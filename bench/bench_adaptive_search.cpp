@@ -1,0 +1,184 @@
+// Compiles-to-best of the model-guided search strategy (DESIGN.md §14)
+// against exhaustive and random baselines on a 288-point design space
+// over the paper's Fig. 1 inverse-Helmholtz kernel.
+//
+// Measured claims (all machine-independent: the latency objective is
+// the analytic HLS model, and every strategy is deterministic for a
+// fixed seed):
+//   * the model strategy reaches within 5% of the exhaustive-best
+//     latency in <= 1/3 of exhaustive's compiles;
+//   * a warm-started rerun converges in fewer compiles still;
+//   * a fixed seed evaluates the identical point set on every run and
+//     worker count.
+// Emits BENCH_adaptive_search.json for the CI regression gate
+// (scripts/check_bench_regression.py).
+#include "BenchCommon.h"
+#include "core/Tuner.h"
+
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+namespace {
+
+using namespace cfd;
+
+/// 4 x 3 x 3 x 2 x 2 x 2 = 288 points; every m/k pair is structurally
+/// feasible, so the search cannot lean on the pre-filter — it has to
+/// rank and demote.
+TuneSpace benchSpace() {
+  TuneSpace space;
+  space.axes.push_back(TuneAxis{"unroll", {"1", "2", "4", "8"}});
+  space.axes.push_back(TuneAxis{"m", {"4", "8", "16"}});
+  space.axes.push_back(TuneAxis{"k", {"1", "2", "4"}});
+  space.axes.push_back(TuneAxis{"sharing", {"0", "1"}});
+  space.axes.push_back(TuneAxis{"decoupled", {"0", "1"}});
+  space.axes.push_back(TuneAxis{"layout", {"rowmajor", "colmajor"}});
+  return space;
+}
+
+double bestLatency(const TuningReport& report) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const TunedPoint& point : report.points)
+    if (point.row.ok())
+      best = std::min(best, point.scores.front());
+  return best;
+}
+
+bool sameEvaluation(const TuningReport& a, const TuningReport& b) {
+  if (a.points.size() != b.points.size() || a.frontier != b.frontier)
+    return false;
+  for (std::size_t i = 0; i < a.points.size(); ++i)
+    if (a.points[i].label() != b.points[i].label() ||
+        a.points[i].scores != b.points[i].scores)
+      return false;
+  return true;
+}
+
+} // namespace
+
+int main() {
+  bench::printHeader("model-guided adaptive search (DESIGN.md §14)");
+  const TuneSpace space = benchSpace();
+  const std::string source = bench::kInverseHelmholtz;
+
+  TunerOptions base;
+  base.objectives = {latencyObjective()};
+  base.seed = 17;
+
+  Session exhaustiveSession;
+  const TuningReport exhaustive = tune(exhaustiveSession, source, space, base);
+  const double exhaustiveBest = bestLatency(exhaustive);
+
+  TunerOptions modelOptions = base;
+  modelOptions.strategy = SearchStrategy::Model;
+  Session modelSession;
+  const TuningReport model = tune(modelSession, source, space, modelOptions);
+  const double modelBest = bestLatency(model);
+
+  // Random gets exactly the model's compile budget — an apples-to-apples
+  // "what would blind sampling find with the same spend".
+  TunerOptions randomOptions = base;
+  randomOptions.strategy = SearchStrategy::Random;
+  randomOptions.sampleCount = model.points.size();
+  Session randomSession;
+  const TuningReport random = tune(randomSession, source, space,
+                                   randomOptions);
+  const double randomBest = bestLatency(random);
+
+  // Warm start: re-tune from the model run's own report. The surrogate
+  // arrives pre-fitted, so the seeding round is skipped entirely.
+  TunerOptions warmOptions = modelOptions;
+  warmOptions.warmStartJson = model.jsonText();
+  Session warmSession;
+  const TuningReport warm = tune(warmSession, source, space, warmOptions);
+  const double warmBest = bestLatency(warm);
+
+  // Determinism: the same seed on a different worker count must
+  // evaluate the identical set with identical scores and frontier.
+  TunerOptions repeatOptions = modelOptions;
+  repeatOptions.workers = 3;
+  Session repeatSession(SessionOptions{.workers = 3});
+  const TuningReport repeat = tune(repeatSession, source, space,
+                                   repeatOptions);
+  const bool deterministic = sameEvaluation(model, repeat);
+
+  std::size_t proxyEvaluations = 0;
+  for (const auto& round : model.modelRounds)
+    proxyEvaluations += round.proxyEvaluations;
+
+  const double bestRatio = modelBest / exhaustiveBest;
+  const double compileRatio = static_cast<double>(model.points.size()) /
+                              static_cast<double>(exhaustive.points.size());
+
+  std::cout << "  space: " << exhaustive.spaceSize << " points, "
+            << exhaustive.feasibleCount << " compile-feasible\n";
+  std::cout << "  exhaustive: " << exhaustive.points.size()
+            << " compiles, best latency "
+            << formatFixed(exhaustiveBest, 3) << " us\n";
+  std::cout << "  random:     " << random.points.size()
+            << " compiles, best latency " << formatFixed(randomBest, 3)
+            << " us (x" << formatFixed(randomBest / exhaustiveBest, 3)
+            << " of best)\n";
+  std::cout << "  model:      " << model.points.size() << " compiles + "
+            << proxyEvaluations << " cheap prefixes, best latency "
+            << formatFixed(modelBest, 3) << " us (x"
+            << formatFixed(bestRatio, 3) << " of best, "
+            << formatFixed(100.0 * compileRatio, 1)
+            << "% of exhaustive's compiles)\n";
+  std::cout << "  warm-start: " << warm.points.size()
+            << " compiles, best latency " << formatFixed(warmBest, 3)
+            << " us (" << warm.warmStartPoints << " prior points)\n";
+  std::cout << "  deterministic across runs/workers: "
+            << (deterministic ? "yes" : "NO") << "\n";
+
+  json::Value report = json::Value::object();
+  report.set("schema", "cfd-adaptive-search-v1");
+  report.set("space_size", exhaustive.spaceSize);
+  json::Value exhaustiveJson = json::Value::object();
+  exhaustiveJson.set("compiles", exhaustive.points.size());
+  exhaustiveJson.set("feasible", exhaustive.feasibleCount);
+  exhaustiveJson.set("best_latency_us", exhaustiveBest);
+  report.set("exhaustive", std::move(exhaustiveJson));
+  json::Value randomJson = json::Value::object();
+  randomJson.set("compiles", random.points.size());
+  randomJson.set("best_latency_us", randomBest);
+  report.set("random", std::move(randomJson));
+  json::Value modelJson = json::Value::object();
+  modelJson.set("compiles", model.points.size());
+  modelJson.set("proxy_evaluations", proxyEvaluations);
+  modelJson.set("best_latency_us", modelBest);
+  modelJson.set("best_ratio", bestRatio);
+  modelJson.set("compile_ratio", compileRatio);
+  report.set("model", std::move(modelJson));
+  json::Value warmJson = json::Value::object();
+  warmJson.set("compiles", warm.points.size());
+  warmJson.set("warm_start_points", warm.warmStartPoints);
+  warmJson.set("best_latency_us", warmBest);
+  report.set("warm", std::move(warmJson));
+  report.set("deterministic", deterministic);
+  bench::writeBenchReport("adaptive_search", report);
+
+  bool failed = false;
+  if (!(bestRatio <= 1.05)) {
+    std::cerr << "FAIL: model best latency is x" << formatFixed(bestRatio, 3)
+              << " of exhaustive best (required <= 1.05)\n";
+    failed = true;
+  }
+  if (!(compileRatio <= 1.0 / 3.0)) {
+    std::cerr << "FAIL: model spent " << formatFixed(100 * compileRatio, 1)
+              << "% of exhaustive's compiles (required <= 33.3%)\n";
+    failed = true;
+  }
+  if (warm.points.size() >= model.points.size()) {
+    std::cerr << "FAIL: warm start did not reduce compiles ("
+              << warm.points.size() << " vs " << model.points.size()
+              << ")\n";
+    failed = true;
+  }
+  if (!deterministic) {
+    std::cerr << "FAIL: model evaluation set varies across runs\n";
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

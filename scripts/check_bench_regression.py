@@ -56,6 +56,18 @@ GATES = {
         "store.warm_disk_hits": ("higher", None),
         "store.cold_publishes": ("higher", None),
     },
+    # Model-guided search: everything here is deterministic for the
+    # bench's fixed seed (analytic latency model, seeded strategies), so
+    # the compile counts get a near-zero band — any drift means the
+    # search behavior changed — while best_ratio keeps the 5%
+    # within-best acceptance band.
+    "BENCH_adaptive_search.json": {
+        "model.compiles": ("lower", 0.01),
+        "model.best_ratio": ("lower", 0.05),
+        "model.compile_ratio": ("lower", 0.01),
+        "exhaustive.compiles": ("higher", 0.01),
+        "warm.compiles": ("lower", 0.01),
+    },
 }
 
 

@@ -45,6 +45,12 @@ std::vector<Objective> defaultObjectives() {
   return {latencyObjective(), bramObjective()};
 }
 
+const std::vector<std::string>& builtinObjectiveNames() {
+  static const std::vector<std::string> names = {"latency", "bram", "dsp",
+                                                 "lut", "compile_ms"};
+  return names;
+}
+
 Objective objectiveByName(const std::string& name) {
   if (name == "latency")
     return latencyObjective();
@@ -56,8 +62,10 @@ Objective objectiveByName(const std::string& name) {
     return lutObjective();
   if (name == "compile_ms")
     return compileTimeObjective();
-  throw FlowError("unknown objective '" + name +
-                  "' (valid: latency, bram, dsp, lut, compile_ms)");
+  std::string valid;
+  for (const std::string& candidate : builtinObjectiveNames())
+    valid += (valid.empty() ? "" : ", ") + candidate;
+  throw FlowError("unknown objective '" + name + "' (valid: " + valid + ")");
 }
 
 } // namespace cfd

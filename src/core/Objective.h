@@ -49,6 +49,11 @@ Objective compileTimeObjective();
 /// trade-off between throughput and on-chip memory).
 std::vector<Objective> defaultObjectives();
 
+/// Names of the built-in objectives, in objectiveByName lookup order —
+/// the single list behind its error message and the warm-start layer's
+/// objective matching (search/WarmStart.h).
+const std::vector<std::string>& builtinObjectiveNames();
+
 /// Looks up a built-in objective (latency|bram|dsp|lut|compile_ms) by
 /// name; throws FlowError listing the valid names on a miss.
 Objective objectiveByName(const std::string& name);

@@ -283,6 +283,11 @@ Expected<TuningReport> Session::tuneImpl(const TuneRequest& request,
   tunerOptions.seed = request.seed_;
   tunerOptions.sampleCount = request.samples_;
   tunerOptions.maxSteps = request.maxSteps_;
+  tunerOptions.halvingRounds = request.halvingRounds_;
+  tunerOptions.keepFraction = request.keepFraction_;
+  tunerOptions.clusterCount = request.clusterCount_;
+  tunerOptions.warmStartPath = request.warmStartPath_;
+  tunerOptions.warmStartJson = request.warmStartJson_;
   tunerOptions.base = baseOptionsFor(request.options_);
   tunerOptions.workers = request.workers_;
   tunerOptions.simulateElements = request.simulateElements_;
@@ -308,9 +313,10 @@ Expected<TuningReport> Session::tuneImpl(const TuneRequest& request,
     return Expected<TuningReport>(
         cfd::tune(*this, request.source_, space, tunerOptions));
   } catch (const FlowError& e) {
-    // The only FlowError cfd::tune itself throws is eager axis
-    // validation (per-point compile failures stay in the report), so
-    // this is a request problem, not a compile failure.
+    // The FlowErrors cfd::tune itself throws are request problems —
+    // eager axis validation, a bad keep fraction, or an unreadable /
+    // malformed warm-start document — never per-point compile failures
+    // (those stay in the report).
     countFailure();
     DiagnosticList failure = diagnosticsFrom(e);
     failure.attributeStage("options");

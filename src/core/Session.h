@@ -239,6 +239,31 @@ public:
     maxSteps_ = maxSteps;
     return *this;
   }
+  /// Model strategy (DESIGN.md §14): surrogate-ranked halving rounds.
+  TuneRequest& halvingRounds(std::size_t rounds) {
+    halvingRounds_ = rounds;
+    return *this;
+  }
+  /// Model strategy: fraction in (0, 1] surviving each halving cut.
+  TuneRequest& keepFraction(double fraction) {
+    keepFraction_ = fraction;
+    return *this;
+  }
+  /// Model strategy: seeding clusters (0 = auto).
+  TuneRequest& clusterCount(std::size_t clusters) {
+    clusterCount_ = clusters;
+    return *this;
+  }
+  /// Model strategy: prior tune-report JSON file to pre-fit from.
+  TuneRequest& warmStart(std::string path) {
+    warmStartPath_ = std::move(path);
+    return *this;
+  }
+  /// Model strategy: prior report text (wins over warmStart()).
+  TuneRequest& warmStartJson(std::string text) {
+    warmStartJson_ = std::move(text);
+    return *this;
+  }
   /// Scoring objectives by name (latency|bram|dsp|lut|compile_ms);
   /// empty = defaultObjectives(). Unknown names surface as diagnostics.
   TuneRequest& objectives(std::vector<std::string> names) {
@@ -270,6 +295,11 @@ private:
   std::uint64_t seed_ = 1;
   std::size_t samples_ = 16;
   std::size_t maxSteps_ = 32;
+  std::size_t halvingRounds_ = 2;
+  double keepFraction_ = 1.0 / 3.0;
+  std::size_t clusterCount_ = 0;
+  std::string warmStartPath_;
+  std::string warmStartJson_;
   std::vector<std::string> objectiveNames_;
   std::int64_t simulateElements_ = 0;
   sim::TransferStrategy transferStrategy_ = sim::TransferStrategy::Blocking;

@@ -2,10 +2,15 @@
 
 #include "core/Pareto.h"
 #include "core/Session.h"
+#include "search/FeatureCluster.h"
+#include "search/Halving.h"
+#include "search/Surrogate.h"
+#include "search/WarmStart.h"
 #include "support/Error.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
@@ -118,19 +123,56 @@ public:
   /// queued or already evaluated); false when it was pruned. Each
   /// distinct pruned point counts once.
   bool consider(const Combo& combo) {
-    const std::uint64_t rank = flatten(space_, combo);
-    if (seen_.count(rank))
-      return pointIndex_.count(rank) != 0 || queuedRanks_.count(rank) != 0;
-    seen_.insert(rank);
-    const FlowOptions pointOptions =
-        buildOptions(space_, combo, options_.base);
-    if (!checkStructuralFeasibility(pointOptions).empty()) {
-      ++pruned_;
+    if (!feasible(combo))
       return false;
-    }
+    enqueue(combo);
+    return true;
+  }
+
+  /// Structural pre-filter with memoized verdicts. The first time a
+  /// point fails, its params and reason are recorded for the report's
+  /// pruned-point list (each distinct point once, in first-considered
+  /// order).
+  bool feasible(const Combo& combo) {
+    const std::uint64_t rank = flatten(space_, combo);
+    const auto it = feasibleByRank_.find(rank);
+    if (it != feasibleByRank_.end())
+      return it->second;
+    const std::string reason = checkStructuralFeasibility(
+        buildOptions(space_, combo, options_.base));
+    const bool ok = reason.empty();
+    feasibleByRank_.emplace(rank, ok);
+    if (!ok)
+      prunedPoints_.push_back(
+          TuningReport::PrunedPoint{comboParams(space_, combo), reason});
+    return ok;
+  }
+
+  /// Queues a (feasible) point for the next evaluateQueued() batch;
+  /// false when it is already queued or evaluated.
+  bool enqueue(const Combo& combo) {
+    const std::uint64_t rank = flatten(space_, combo);
+    if (pointIndex_.count(rank) != 0 || queuedRanks_.count(rank) != 0)
+      return false;
     queue_.push_back(combo);
     queuedRanks_.insert(rank);
     return true;
+  }
+
+  /// Cheap stage-prefix proxy score of a point (search/Halving.h),
+  /// memoized by rank: the prefix runs once per point even across
+  /// halving rounds, and demoted points leave parse..optimize published
+  /// in the session's stage cache for later adoption.
+  double cheapProxy(const Combo& combo) {
+    const std::uint64_t rank = flatten(space_, combo);
+    const auto it = proxyByRank_.find(rank);
+    if (it != proxyByRank_.end())
+      return it->second;
+    const search::ProxyResult proxy = search::cheapProxyScore(
+        session_, source_, buildOptions(space_, combo, options_.base),
+        options_.cancelToken);
+    proxyByRank_.emplace(rank, proxy.score);
+    return proxy.score;
   }
 
   /// Compiles (through the shared cache) and scores every queued point
@@ -181,7 +223,10 @@ public:
                           : std::numeric_limits<double>::infinity();
   }
 
-  std::size_t prunedCount() const { return pruned_; }
+  std::size_t prunedCount() const { return prunedPoints_.size(); }
+  std::vector<TuningReport::PrunedPoint> takePrunedPoints() {
+    return std::move(prunedPoints_);
+  }
   /// Points queued for the next evaluateQueued() batch.
   std::size_t pendingCount() const { return queue_.size(); }
   const std::vector<Objective>& objectives() const { return objectives_; }
@@ -194,9 +239,10 @@ private:
   std::vector<Objective> objectives_;
   std::vector<Combo> queue_;
   std::unordered_set<std::uint64_t> queuedRanks_;
-  std::unordered_set<std::uint64_t> seen_; // considered (pruned or queued)
+  std::unordered_map<std::uint64_t, bool> feasibleByRank_;
+  std::unordered_map<std::uint64_t, double> proxyByRank_;
   std::unordered_map<std::uint64_t, std::size_t> pointIndex_;
-  std::size_t pruned_ = 0;
+  std::vector<TuningReport::PrunedPoint> prunedPoints_;
 };
 
 void runExhaustive(TuneRun& run, const TuneSpace& space,
@@ -278,6 +324,184 @@ void runHillClimb(TuneRun& run, const TuneSpace& space,
     if (!best)
       break; // local optimum
     current = *best;
+  }
+}
+
+/// Model-guided search (DESIGN.md §14): an online surrogate
+/// (search/Surrogate.h) ranks the feasible pool, a cheap stage-prefix
+/// proxy (search/Halving.h) screens the ranked candidates, and only the
+/// survivors pay a full compile. Seeding comes from cluster
+/// representatives (search/FeatureCluster.h) or a warm-start report
+/// (search/WarmStart.h). Deterministic end to end: the pool is built in
+/// rank order, every ranking breaks ties toward the lower pool index,
+/// and the surrogate/proxy/clustering are all deterministic arithmetic
+/// — so a fixed seed evaluates the identical point set on every run and
+/// worker count.
+void runModel(TuneRun& run, const TuneSpace& space,
+              const TunerOptions& options, TuningReport& report) {
+  if (!(options.keepFraction > 0.0 && options.keepFraction <= 1.0))
+    throw FlowError("model keep fraction must be in (0, 1]");
+
+  // The feasible pool, in rank order (the deterministic base order all
+  // tie-breaking falls back to). Infeasible points are recorded by
+  // feasible() for the report's pruned list.
+  const std::size_t total = space.size();
+  std::vector<Combo> pool;
+  std::vector<search::FeatureVector> features;
+  for (std::uint64_t rank = 0; rank < total; ++rank) {
+    Combo combo = unflatten(space, rank);
+    if (!run.feasible(combo))
+      continue;
+    features.push_back(search::encodePoint(
+        space, combo, buildOptions(space, combo, options.base)));
+    pool.push_back(std::move(combo));
+  }
+  if (pool.empty())
+    return;
+
+  search::Surrogate surrogate(search::featureCountFor(space));
+
+  // Warm start: pre-fit from a prior report's evaluated points. Points
+  // are mapped by axis key/value into the *current* space; prior points
+  // off the current grid are skipped (a changed space warm-starts from
+  // the overlap).
+  const std::string& primaryName = run.objectives().front().name;
+  std::vector<search::WarmStartPoint> prior;
+  if (!options.warmStartJson.empty())
+    prior = search::loadWarmStart(options.warmStartJson, primaryName);
+  else if (!options.warmStartPath.empty())
+    prior = search::readWarmStartFile(options.warmStartPath, primaryName);
+  for (const search::WarmStartPoint& point : prior) {
+    Combo combo(space.axes.size(), 0);
+    bool mapped = true;
+    for (std::size_t axis = 0; mapped && axis < space.axes.size(); ++axis) {
+      const TuneAxis& tuneAxis = space.axes[axis];
+      mapped = false;
+      for (const auto& [key, value] : point.params) {
+        if (key != tuneAxis.key)
+          continue;
+        const auto found = std::find(tuneAxis.values.begin(),
+                                     tuneAxis.values.end(), value);
+        if (found != tuneAxis.values.end()) {
+          combo[axis] =
+              static_cast<std::size_t>(found - tuneAxis.values.begin());
+          mapped = true;
+        }
+        break;
+      }
+    }
+    if (!mapped)
+      continue;
+    surrogate.observe(search::encodePoint(
+                          space, combo,
+                          buildOptions(space, combo, options.base)),
+                      point.score);
+    ++report.warmStartPoints;
+  }
+
+  std::vector<char> done(pool.size(), 0);
+
+  // Compiles a set of pool indices (ascending) as one Explorer batch
+  // and feeds every feasible score back into the surrogate. Rows land
+  // in input order, so the observation order — part of the model's
+  // determinism — is independent of the worker count.
+  auto compileAndObserve = [&](const std::vector<std::size_t>& batch) {
+    const std::size_t before = report.points.size();
+    for (std::size_t poolIndex : batch) {
+      run.enqueue(pool[poolIndex]);
+      done[poolIndex] = 1;
+    }
+    run.evaluateQueued(report);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const TunedPoint& point = report.points[before + i];
+      if (point.row.ok())
+        surrogate.observe(features[batch[i]], point.scores.front());
+    }
+  };
+
+  // Seeding round: one compile per feature-space cluster, spread out by
+  // farthest-point selection — unless the warm start already supplied
+  // at least that many observations, in which case repeat tunes skip
+  // straight to the halving rounds.
+  std::size_t clusterCount = options.clusterCount;
+  if (clusterCount == 0) {
+    clusterCount = static_cast<std::size_t>(
+        std::lround(std::sqrt(static_cast<double>(pool.size()))));
+    clusterCount = std::max<std::size_t>(clusterCount, 2);
+  }
+  clusterCount = std::min(clusterCount, pool.size());
+  if (surrogate.observationCount() < clusterCount) {
+    const search::Clustering clustering =
+        search::clusterByFeatures(features, clusterCount, options.seed);
+    std::vector<std::size_t> seeds = clustering.representatives;
+    std::sort(seeds.begin(), seeds.end());
+    compileAndObserve(seeds);
+    TuningReport::ModelRoundStats stats;
+    stats.round = 0;
+    stats.poolRemaining = pool.size();
+    stats.compiled = seeds.size();
+    stats.compilesSkipped = pool.size() - seeds.size();
+    report.modelRounds.push_back(stats);
+  }
+
+  for (std::size_t round = 1; round <= options.halvingRounds; ++round) {
+    if (options.cancelToken.cancelled())
+      break;
+    std::vector<std::size_t> remaining;
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      if (!done[i])
+        remaining.push_back(i);
+    if (remaining.empty())
+      break;
+
+    TuningReport::ModelRoundStats stats;
+    stats.round = round;
+    stats.poolRemaining = remaining.size();
+
+    // Cut 1 — surrogate ranking: predict every remaining point, keep
+    // the most promising keepFraction. selectSmallest breaks score
+    // ties toward the lower pool index.
+    std::vector<double> predicted;
+    predicted.reserve(remaining.size());
+    for (std::size_t poolIndex : remaining)
+      predicted.push_back(surrogate.predict(features[poolIndex]));
+    stats.predictions = remaining.size();
+    const std::size_t candidateCount = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(
+               static_cast<double>(remaining.size()) * options.keepFraction)));
+    std::vector<std::size_t> candidates;
+    for (std::size_t sel : search::selectSmallest(predicted, candidateCount))
+      candidates.push_back(remaining[sel]);
+
+    // Cut 2 — cheap-prefix screen: run parse..optimize only and demote
+    // by the analytic work estimate. A cancel mid-screen keeps the
+    // points already in the report (the prefix just run stays
+    // adoptable in the stage cache).
+    std::vector<double> proxyScores;
+    proxyScores.reserve(candidates.size());
+    try {
+      for (std::size_t poolIndex : candidates) {
+        if (options.cancelToken.cancelled())
+          return;
+        proxyScores.push_back(run.cheapProxy(pool[poolIndex]));
+      }
+    } catch (const CancelledError&) {
+      return;
+    }
+    stats.proxyEvaluations = candidates.size();
+    const std::size_t surviveCount = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(
+               static_cast<double>(candidates.size()) *
+               options.keepFraction)));
+    std::vector<std::size_t> survivors;
+    for (std::size_t sel : search::selectSmallest(proxyScores, surviveCount))
+      survivors.push_back(candidates[sel]);
+    stats.proxyDemoted = candidates.size() - survivors.size();
+    stats.compiled = survivors.size();
+    stats.compilesSkipped = remaining.size() - survivors.size();
+
+    compileAndObserve(survivors);
+    report.modelRounds.push_back(stats);
   }
 }
 
@@ -394,6 +618,7 @@ const char* searchStrategyName(SearchStrategy strategy) {
   case SearchStrategy::Exhaustive: return "exhaustive";
   case SearchStrategy::Random: return "random";
   case SearchStrategy::HillClimb: return "hillclimb";
+  case SearchStrategy::Model: return "model";
   }
   CFD_UNREACHABLE("bad SearchStrategy");
 }
@@ -405,8 +630,10 @@ SearchStrategy searchStrategyByName(const std::string& name) {
     return SearchStrategy::Random;
   if (name == "hillclimb")
     return SearchStrategy::HillClimb;
+  if (name == "model")
+    return SearchStrategy::Model;
   throw FlowError("unknown search strategy '" + name +
-                  "' (valid: exhaustive, random, hillclimb)");
+                  "' (valid: exhaustive, random, hillclimb, model)");
 }
 
 std::string TunedPoint::label() const {
@@ -454,12 +681,16 @@ TuningReport tune(Session& session, const std::string& source,
   case SearchStrategy::HillClimb:
     runHillClimb(run, space, options, report);
     break;
+  case SearchStrategy::Model:
+    runModel(run, space, options, report);
+    break;
   }
   report.wallMillis = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count();
 
-  report.prunedCount = run.prunedCount();
+  report.prunedPoints = run.takePrunedPoints();
+  report.prunedCount = report.prunedPoints.size();
   FlowCache& cache = session.flowCache();
   report.flowCacheStats = cache.stats();
   if (cache.stageCache() != nullptr)
@@ -524,6 +755,28 @@ json::Value TuningReport::toJson() const {
   stats.set("cache_hits", cacheHitCount);
   root.set("stats", std::move(stats));
 
+  // Model-strategy provenance (DESIGN.md §14): how many compiles each
+  // round spent and spared. Deterministic for a fixed seed, so the
+  // report-determinism checks cover it like every other field.
+  if (strategy == SearchStrategy::Model) {
+    json::Value model = json::Value::object();
+    model.set("warm_start_points", warmStartPoints);
+    json::Value rounds = json::Value::array();
+    for (const ModelRoundStats& round : modelRounds) {
+      json::Value roundJson = json::Value::object();
+      roundJson.set("round", round.round);
+      roundJson.set("pool_remaining", round.poolRemaining);
+      roundJson.set("predictions", round.predictions);
+      roundJson.set("proxy_evaluations", round.proxyEvaluations);
+      roundJson.set("proxy_demoted", round.proxyDemoted);
+      roundJson.set("compiled", round.compiled);
+      roundJson.set("compiles_skipped", round.compilesSkipped);
+      rounds.push(std::move(roundJson));
+    }
+    model.set("rounds", std::move(rounds));
+    root.set("model", std::move(model));
+  }
+
   json::Value pointsJson = json::Value::array();
   for (const TunedPoint& point : points) {
     json::Value pointJson = json::Value::object();
@@ -552,6 +805,20 @@ json::Value TuningReport::toJson() const {
     pointJson.set("pareto", point.onFrontier);
     pointJson.set("cache_hit", point.row.cacheHit);
     pointJson.set("compile_ms", point.row.compileMillis);
+    pointsJson.push(std::move(pointJson));
+  }
+  // Structurally pruned points ride along after the evaluated ones
+  // (appending keeps the frontier indices valid): never compiled, so
+  // they carry only their infeasibility reason.
+  for (const PrunedPoint& pruned : prunedPoints) {
+    json::Value pointJson = json::Value::object();
+    json::Value params = json::Value::object();
+    for (const auto& [key, value] : pruned.params)
+      params.set(key, value);
+    pointJson.set("params", std::move(params));
+    pointJson.set("feasible", false);
+    pointJson.set("pruned", true);
+    pointJson.set("error", pruned.reason);
     pointsJson.push(std::move(pointJson));
   }
   root.set("points", std::move(pointsJson));

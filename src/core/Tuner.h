@@ -3,8 +3,9 @@
 // Explorer (DESIGN.md §3) evaluates a *given* list of variants; the
 // Tuner decides *which* variants to evaluate. A TuneSpace declares the
 // parameter axes (named key/value axes mirroring the cfdc sweep keys);
-// a strategy — exhaustive, seeded random sampling, or greedy
-// hill-climb — walks that space, pruning structurally infeasible m/k
+// a strategy — exhaustive, seeded random sampling, greedy hill-climb,
+// or model-guided successive halving (src/search/, DESIGN.md §14) —
+// walks that space, pruning structurally infeasible m/k
 // combinations before any compile; objectives (core/Objective.h) score
 // every feasible row; and the multi-objective Pareto frontier
 // (core/Pareto.h) plus all evaluated points are returned as a
@@ -84,10 +85,11 @@ enum class SearchStrategy {
   Exhaustive, ///< every point of the space
   Random,     ///< seeded sampling without replacement
   HillClimb,  ///< greedy axis-neighbor descent on the primary objective
+  Model,      ///< surrogate-ranked successive halving (DESIGN.md §14)
 };
 
 const char* searchStrategyName(SearchStrategy strategy);
-/// Parses exhaustive|random|hillclimb; throws FlowError otherwise.
+/// Parses exhaustive|random|hillclimb|model; throws FlowError otherwise.
 SearchStrategy searchStrategyByName(const std::string& name);
 
 struct TunerOptions {
@@ -99,6 +101,22 @@ struct TunerOptions {
   std::size_t sampleCount = 16;
   /// HillClimb: maximum number of moves before giving up.
   std::size_t maxSteps = 32;
+  /// Model: surrogate-ranked halving rounds after the seeding round
+  /// (DESIGN.md §14). Each round ranks the un-evaluated pool with the
+  /// surrogate, screens the top keepFraction with the cheap stage-prefix
+  /// proxy, and compiles only the top keepFraction of *those*.
+  std::size_t halvingRounds = 2;
+  /// Model: fraction in (0, 1] surviving each cut of a halving round.
+  double keepFraction = 1.0 / 3.0;
+  /// Model: clusters for the seeding round (one compile per cluster
+  /// representative); 0 = auto (~sqrt of the feasible pool, min 2).
+  std::size_t clusterCount = 0;
+  /// Model: path of a prior tune-report JSON to pre-fit the surrogate
+  /// from; enough prior points skip the seeding round entirely.
+  std::string warmStartPath;
+  /// Model: prior report document text; takes precedence over
+  /// warmStartPath (in-process warm starts without file I/O).
+  std::string warmStartJson;
   /// Objectives scoring each feasible point; empty = defaultObjectives().
   /// HillClimb descends on the first objective; the frontier always
   /// uses all of them.
@@ -135,6 +153,27 @@ struct TunedPoint {
 };
 
 struct TuningReport {
+  /// One structurally pruned point: never compiled, kept in the report
+  /// (JSON "points" entries with "pruned": true) so an infeasible
+  /// region is visible instead of silently shrinking the space.
+  struct PrunedPoint {
+    std::vector<std::pair<std::string, std::string>> params;
+    std::string reason; // checkStructuralFeasibility's message
+  };
+
+  /// Per-round bookkeeping of the Model strategy (DESIGN.md §14).
+  /// Round 0 is cluster seeding (no predictions); rounds >= 1 are the
+  /// surrogate-ranked halving rounds.
+  struct ModelRoundStats {
+    std::size_t round = 0;
+    std::size_t poolRemaining = 0;     // un-evaluated feasible points
+    std::size_t predictions = 0;       // surrogate rankings made
+    std::size_t proxyEvaluations = 0;  // cheap stage-prefix runs
+    std::size_t proxyDemoted = 0;      // cut by the proxy screen
+    std::size_t compiled = 0;          // promoted to a full compile
+    std::size_t compilesSkipped = 0;   // pool points not compiled
+  };
+
   SearchStrategy strategy = SearchStrategy::Exhaustive;
   std::uint64_t seed = 0;
   std::vector<std::string> objectives; // names, in scoring order
@@ -142,6 +181,13 @@ struct TuningReport {
 
   std::vector<TunedPoint> points;     // evaluated, deterministic order
   std::vector<std::size_t> frontier;  // indices into points
+  /// Structurally infeasible points, in first-considered order
+  /// (prunedCount == prunedPoints.size()).
+  std::vector<PrunedPoint> prunedPoints;
+  /// Model strategy only (empty otherwise): seeding + halving rounds.
+  std::vector<ModelRoundStats> modelRounds;
+  /// Prior points the surrogate was pre-fitted from (Model strategy).
+  std::size_t warmStartPoints = 0;
 
   std::size_t spaceSize = 0;   // full cross-product cardinality
   std::size_t prunedCount = 0; // rejected before compiling

@@ -1,0 +1,65 @@
+#include "search/FeatureCluster.h"
+
+#include "support/Error.h"
+
+#include <cmath>
+#include <limits>
+
+namespace cfd::search {
+
+namespace {
+
+double squaredDistance(const FeatureVector& a, const FeatureVector& b) {
+  CFD_ASSERT(a.values.size() == b.values.size(),
+             "clustering needs a uniform feature dimension");
+  double sum = 0;
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    const double d = a.values[i] - b.values[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+} // namespace
+
+Clustering clusterByFeatures(const std::vector<FeatureVector>& points,
+                             std::size_t clusterCount, std::uint64_t seed) {
+  Clustering clustering;
+  if (points.empty())
+    return clustering;
+  clusterCount = std::min(std::max<std::size_t>(clusterCount, 1),
+                          points.size());
+
+  // nearest[i] = squared distance from point i to its closest center.
+  std::vector<double> nearest(points.size(),
+                              std::numeric_limits<double>::infinity());
+  clustering.assignment.assign(points.size(), 0);
+
+  std::size_t center = static_cast<std::size_t>(seed % points.size());
+  for (std::size_t round = 0; round < clusterCount; ++round) {
+    clustering.representatives.push_back(center);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const double d = squaredDistance(points[i], points[center]);
+      if (d < nearest[i]) {
+        nearest[i] = d;
+        clustering.assignment[i] = round;
+      }
+    }
+    // Next center: the point farthest from every chosen center, lowest
+    // index on ties. All-zero distances mean the remaining points are
+    // duplicates of existing centers — stop early.
+    double farthest = 0;
+    std::size_t next = points.size();
+    for (std::size_t i = 0; i < points.size(); ++i)
+      if (nearest[i] > farthest) {
+        farthest = nearest[i];
+        next = i;
+      }
+    if (next == points.size())
+      break;
+    center = next;
+  }
+  return clustering;
+}
+
+} // namespace cfd::search

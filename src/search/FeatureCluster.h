@@ -1,0 +1,41 @@
+// Cluster-representative seeding for model-guided tuning
+// (DESIGN.md §14). Before the surrogate has any observations to rank
+// with, the Model strategy compiles one representative per
+// feature-space cluster — a spread-out sample that covers the space's
+// cost structure in few compiles, after the self-adaptive
+// fission-clustering idea from the related work (PAPERS.md).
+//
+// The clustering is deterministic farthest-point (k-center) seeding:
+// the first center is fixed by the tuner seed, each next center is the
+// point farthest from all chosen centers, and every tie breaks toward
+// the lower point index. No RNG beyond the seed, no iteration-order
+// dependence — required by the §7 determinism contract.
+#pragma once
+
+#include "search/Surrogate.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cfd::search {
+
+struct Clustering {
+  /// Cluster id per input point, in input order (ids in
+  /// [0, representatives.size())).
+  std::vector<std::size_t> assignment;
+  /// One input-point index per cluster: its center, in the
+  /// deterministic order the centers were chosen.
+  std::vector<std::size_t> representatives;
+};
+
+/// Groups `points` into (at most) `clusterCount` clusters by Euclidean
+/// feature distance. The first center is points[seed % points.size()];
+/// subsequent centers maximize the distance to the nearest chosen
+/// center (lowest index wins ties). Duplicate points collapse: once
+/// every remaining point has distance 0 to a center, no further
+/// clusters are created.
+Clustering clusterByFeatures(const std::vector<FeatureVector>& points,
+                             std::size_t clusterCount, std::uint64_t seed);
+
+} // namespace cfd::search

@@ -1,0 +1,60 @@
+#include "search/Halving.h"
+
+#include "core/Pipeline.h"
+#include "core/Session.h"
+#include "ir/Analysis.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cfd::search {
+
+ProxyResult cheapProxyScore(Session& session, const std::string& source,
+                            const FlowOptions& options, CancelToken token) {
+  ProxyResult result;
+  try {
+    Pipeline pipeline(source, options, session.stageCache());
+    pipeline.setCancelToken(std::move(token));
+    pipeline.require(Stage::Optimize);
+    const ir::OpWork work = ir::totalWork(pipeline.program());
+    // Datapath work per kernel: divides (the expensive FP op) weighted
+    // 4x, the unrolled portion amortized across unroll lanes, memory
+    // traffic un-amortized (ports don't replicate with unroll).
+    const double unroll =
+        static_cast<double>(std::max(options.hls.unrollFactor, 1));
+    const double kernels =
+        static_cast<double>(std::max(options.system.kernels, 1));
+    const double compute = static_cast<double>(work.fmul) +
+                           static_cast<double>(work.fadd) +
+                           4.0 * static_cast<double>(work.fdiv);
+    const double traffic = static_cast<double>(work.loads) +
+                           static_cast<double>(work.stores);
+    result.score = (compute / unroll + traffic) / kernels;
+  } catch (const CancelledError&) {
+    throw; // cancellation is control flow, not a scored failure
+  } catch (const FlowError& error) {
+    result.score = std::numeric_limits<double>::infinity();
+    result.error = error.what();
+  }
+  return result;
+}
+
+std::vector<std::size_t> selectSmallest(const std::vector<double>& scores,
+                                        std::size_t keep) {
+  std::vector<std::size_t> indices(scores.size());
+  for (std::size_t i = 0; i < indices.size(); ++i)
+    indices[i] = i;
+  keep = std::min(keep, indices.size());
+  // Stable sort on (score, index): equal scores keep input order, so
+  // the cut is deterministic regardless of the sort implementation.
+  std::stable_sort(indices.begin(), indices.end(),
+                   [&scores](std::size_t a, std::size_t b) {
+                     return scores[a] < scores[b];
+                   });
+  indices.resize(keep);
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+} // namespace cfd::search

@@ -1,0 +1,62 @@
+// Successive-halving early termination for model-guided tuning
+// (DESIGN.md §14). A full compile pays for schedule, memory planning,
+// HLS, and system generation; most of what separates a bad point from a
+// good one is already visible after the cheap stage prefix
+// (parse..optimize, DESIGN.md §3). cheapProxyScore runs exactly that
+// prefix through the session's StageCache and folds the structural
+// knobs (unroll, kernel count) into an analytic work estimate — so the
+// Model strategy can demote the bulk of a candidate round before any
+// expensive stage runs.
+//
+// Demoted points are not wasted: the prefix is published to the
+// StageCache at every stage boundary (the same cooperative
+// CancelToken machinery as DESIGN.md §11), so a later promotion — or an
+// unrelated compile sharing the prefix — adopts parse/lower/optimize
+// instead of re-running them.
+#pragma once
+
+#include "core/StageGraph.h"
+#include "support/Cancellation.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cfd {
+class Session;
+}
+
+namespace cfd::search {
+
+/// Outcome of one cheap-prefix evaluation.
+struct ProxyResult {
+  /// Analytic work estimate (smaller = cheaper point). Infinity when
+  /// the prefix itself failed to compile.
+  double score = 0;
+  /// Error of a failed prefix ("" on success).
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Runs parse..optimize for (source, options) against `session`'s stage
+/// cache and scores the result analytically:
+///
+///   ((fmul + fadd + 4*fdiv) / unroll + loads + stores) / kernels
+///
+/// from ir::totalWork over the optimized program — per-kernel datapath
+/// work under the point's unroll factor, the first-order latency driver
+/// of the paper's §VI sweeps. The estimate is exact arithmetic over
+/// deterministic op counts, so proxy ranking obeys the §7 determinism
+/// contract. Throws CancelledError when `token` fires (at a stage
+/// boundary, leaving the already-run prefix adoptable).
+ProxyResult cheapProxyScore(Session& session, const std::string& source,
+                            const FlowOptions& options, CancelToken token);
+
+/// Indices of the `keep` smallest scores, in ascending index order —
+/// the deterministic survivor selection of one halving round. Ties at
+/// the cut keep the lower index.
+std::vector<std::size_t> selectSmallest(const std::vector<double>& scores,
+                                        std::size_t keep);
+
+} // namespace cfd::search

@@ -1,0 +1,160 @@
+#include "search/Surrogate.h"
+
+#include "support/Error.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace cfd::search {
+
+namespace {
+
+/// log2(1 + x): compresses the power-of-two-spaced numeric axes
+/// (unroll, m, k) onto an even grid so one regression weight captures
+/// "doubling this knob" instead of chasing the raw magnitudes.
+double logScale(double x) { return std::log2(1.0 + x); }
+
+/// Numeric interpretation of an axis value, or 0 with ok=false for
+/// categorical values (layout, objective). Accepting only a full-string
+/// parse keeps "2fast" categorical rather than half-numeric.
+bool parseNumeric(const std::string& text, double& out) {
+  if (text.empty())
+    return false;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size())
+    return false;
+  out = parsed;
+  return true;
+}
+
+} // namespace
+
+std::size_t featureCountFor(const TuneSpace& space) {
+  return 2 * space.axes.size() + 3;
+}
+
+FeatureVector encodePoint(const TuneSpace& space,
+                          const std::vector<std::size_t>& valueIndices,
+                          const FlowOptions& options) {
+  CFD_ASSERT(valueIndices.size() == space.axes.size(),
+             "one value index per axis");
+  FeatureVector features;
+  features.values.reserve(featureCountFor(space));
+  for (std::size_t axis = 0; axis < space.axes.size(); ++axis) {
+    const TuneAxis& tuneAxis = space.axes[axis];
+    const std::size_t index = valueIndices[axis];
+    CFD_ASSERT(index < tuneAxis.values.size(), "value index out of range");
+    // Position along the axis in [0, 1]; a single-valued axis is 0.
+    const double span =
+        tuneAxis.values.size() > 1
+            ? static_cast<double>(tuneAxis.values.size() - 1)
+            : 1.0;
+    features.values.push_back(static_cast<double>(index) / span);
+    double numeric = 0;
+    features.values.push_back(parseNumeric(tuneAxis.values[index], numeric)
+                                  ? logScale(std::fabs(numeric))
+                                  : 0.0);
+  }
+  // Structural tail: the built options, so base-derived knobs an axis
+  // does not cover still separate points (and warm-started points from
+  // a differently-ordered space land on comparable coordinates).
+  features.values.push_back(logScale(options.system.memories));
+  features.values.push_back(logScale(options.system.kernels));
+  features.values.push_back(logScale(options.hls.unrollFactor));
+  return features;
+}
+
+Surrogate::Surrogate(std::size_t featureCount)
+    : featureCount_(featureCount), dim_(featureCount + 1),
+      xtx_(dim_ * dim_, 0.0), xty_(dim_, 0.0) {}
+
+void Surrogate::observe(const FeatureVector& features, double score) {
+  CFD_ASSERT(features.values.size() == featureCount_,
+             "feature dimension mismatch");
+  if (!std::isfinite(score))
+    return; // a failed compile has no score to learn from
+  // Augment with the bias column, then rank-1 update of the normal
+  // equations: XtX += x xT, Xty += x y.
+  std::vector<double> x(features.values);
+  x.push_back(1.0);
+  for (std::size_t r = 0; r < dim_; ++r) {
+    for (std::size_t c = 0; c < dim_; ++c)
+      xtx_[r * dim_ + c] += x[r] * x[c];
+    xty_[r] += x[r] * score;
+  }
+  scoreSum_ += score;
+  ++count_;
+  dirty_ = true;
+}
+
+void Surrogate::fit() const {
+  // Solve (XtX + lambda I) w = Xty by Gaussian elimination with partial
+  // pivoting. The ridge term keeps the system positive definite even
+  // when observations < features, and the fixed arithmetic order keeps
+  // the weights bit-identical across runs and platforms.
+  constexpr double kRidge = 1e-3;
+  std::vector<double> a(xtx_);
+  std::vector<double> b(xty_);
+  for (std::size_t i = 0; i < dim_; ++i)
+    a[i * dim_ + i] += kRidge;
+
+  weights_.assign(dim_, 0.0);
+  solved_ = true;
+  for (std::size_t col = 0; col < dim_; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < dim_; ++row)
+      if (std::fabs(a[row * dim_ + col]) > std::fabs(a[pivot * dim_ + col]))
+        pivot = row;
+    if (std::fabs(a[pivot * dim_ + col]) < 1e-12) {
+      solved_ = false; // fall back to the mean prediction
+      break;
+    }
+    if (pivot != col) {
+      for (std::size_t c = col; c < dim_; ++c)
+        std::swap(a[pivot * dim_ + c], a[col * dim_ + c]);
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t row = col + 1; row < dim_; ++row) {
+      const double factor = a[row * dim_ + col] / a[col * dim_ + col];
+      if (factor == 0.0)
+        continue;
+      for (std::size_t c = col; c < dim_; ++c)
+        a[row * dim_ + c] -= factor * a[col * dim_ + c];
+      b[row] -= factor * b[col];
+    }
+  }
+  if (solved_) {
+    for (std::size_t row = dim_; row-- > 0;) {
+      double sum = b[row];
+      for (std::size_t c = row + 1; c < dim_; ++c)
+        sum -= a[row * dim_ + c] * weights_[c];
+      weights_[row] = sum / a[row * dim_ + row];
+    }
+    for (double w : weights_)
+      if (!std::isfinite(w)) {
+        solved_ = false;
+        break;
+      }
+  }
+  dirty_ = false;
+}
+
+double Surrogate::predict(const FeatureVector& features) const {
+  CFD_ASSERT(features.values.size() == featureCount_,
+             "feature dimension mismatch");
+  if (count_ == 0)
+    return 0.0;
+  if (dirty_)
+    fit();
+  if (!solved_)
+    return scoreSum_ / static_cast<double>(count_);
+  double prediction = weights_[featureCount_]; // bias
+  for (std::size_t i = 0; i < featureCount_; ++i)
+    prediction += weights_[i] * features.values[i];
+  if (!std::isfinite(prediction))
+    return scoreSum_ / static_cast<double>(count_);
+  return prediction;
+}
+
+} // namespace cfd::search

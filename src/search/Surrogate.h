@@ -1,0 +1,86 @@
+// Online surrogate cost model for model-guided tuning (DESIGN.md §14).
+//
+// The Tuner's Model strategy must rank un-evaluated design points
+// without compiling them. Surrogate is the regressor behind that
+// ranking: a deterministic online ridge regression fitted incrementally
+// from already-scored TunedPoints — each observation folds one
+// (feature vector, primary-objective score) pair into the normal
+// equations, and predict() solves them lazily. No randomness, no
+// iteration-order dependence: the same observations in the same order
+// produce bit-identical predictions on every platform, which is what
+// keeps the Model strategy inside the §7 determinism contract.
+//
+// Features (encodePoint) are per-axis encodings of the point's option
+// assignments — the normalized value index plus a log-scaled numeric
+// magnitude when the axis value parses as a number — followed by the
+// structural m/k/unroll features every cost trend in the paper's §VI
+// sweeps moves along. Encoding only depends on (space, value indices,
+// built options), so warm-started points from a prior TuningReport
+// (search/WarmStart.h) land in exactly the same feature space.
+#pragma once
+
+#include "core/Tuner.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace cfd::search {
+
+/// One design point's position in feature space.
+struct FeatureVector {
+  std::vector<double> values;
+};
+
+/// Encodes one point of `space` for the surrogate. `valueIndices` is
+/// the per-axis value selection (one index per axis, in axis order) and
+/// `options` the FlowOptions the point builds to (base + axis values
+/// applied). Every point of one space encodes to the same dimension:
+/// 2 features per axis + 3 structural features.
+FeatureVector encodePoint(const TuneSpace& space,
+                          const std::vector<std::size_t>& valueIndices,
+                          const FlowOptions& options);
+
+/// Number of features encodePoint produces for `space`.
+std::size_t featureCountFor(const TuneSpace& space);
+
+/// Deterministic online ridge regression: score ~ w·x + b, fitted by
+/// accumulating the normal equations and solving them with Gaussian
+/// elimination under a fixed ridge term. Underdetermined systems (fewer
+/// observations than features) are fine — the ridge term keeps the
+/// solve well-posed and predictions finite; they are simply less
+/// informed until more points are observed.
+class Surrogate {
+public:
+  explicit Surrogate(std::size_t featureCount);
+
+  /// Folds one scored point into the model. Observation order is part
+  /// of the determinism contract: callers observe points in evaluation
+  /// (input) order, which Explorer already guarantees is independent of
+  /// the worker count.
+  void observe(const FeatureVector& features, double score);
+
+  /// Predicted primary-objective score (smaller = better). With zero
+  /// observations returns 0; with observations but a failed solve,
+  /// falls back to the observed mean — always finite, so ranking never
+  /// sees NaN.
+  double predict(const FeatureVector& features) const;
+
+  std::size_t observationCount() const { return count_; }
+  std::size_t featureCount() const { return featureCount_; }
+
+private:
+  void fit() const;
+
+  std::size_t featureCount_;
+  std::size_t dim_; // featureCount_ + 1 (bias column)
+  std::vector<double> xtx_; // dim_ x dim_, row-major
+  std::vector<double> xty_;
+  double scoreSum_ = 0;
+  std::size_t count_ = 0;
+
+  mutable std::vector<double> weights_;
+  mutable bool dirty_ = true;
+  mutable bool solved_ = false;
+};
+
+} // namespace cfd::search

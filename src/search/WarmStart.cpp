@@ -1,0 +1,51 @@
+#include "search/WarmStart.h"
+
+#include "support/Error.h"
+#include "support/Json.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace cfd::search {
+
+std::vector<WarmStartPoint> loadWarmStart(const std::string& jsonText,
+                                          const std::string& objectiveName) {
+  const json::Value doc = json::Value::parse(jsonText);
+  if (!doc.isObject() || !doc.contains("points") ||
+      !doc.at("points").isArray())
+    throw FlowError("warm-start document is not a tune report "
+                    "(missing \"points\" array)");
+
+  std::vector<WarmStartPoint> points;
+  const json::Value& pointsJson = doc.at("points");
+  for (std::size_t i = 0; i < pointsJson.size(); ++i) {
+    const json::Value& pointJson = pointsJson.at(i);
+    if (!pointJson.isObject() || !pointJson.contains("scores"))
+      continue; // infeasible or pruned: nothing to learn from
+    const json::Value& scores = pointJson.at("scores");
+    if (!scores.isObject() || !scores.contains(objectiveName) ||
+        !scores.at(objectiveName).isNumber())
+      continue; // prior run scored different objectives
+    WarmStartPoint point;
+    point.score = scores.at(objectiveName).asDouble();
+    if (pointJson.contains("params") && pointJson.at("params").isObject())
+      for (const auto& [key, value] : pointJson.at("params").members())
+        point.params.emplace_back(key, value.isString()
+                                           ? value.asString()
+                                           : value.dump(-1));
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<WarmStartPoint> readWarmStartFile(
+    const std::string& path, const std::string& objectiveName) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw FlowError("cannot read warm-start file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return loadWarmStart(buffer.str(), objectiveName);
+}
+
+} // namespace cfd::search

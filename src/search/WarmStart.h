@@ -1,0 +1,40 @@
+// Warm-starting the surrogate from a prior tuning run (DESIGN.md §14).
+//
+// A TuningReport JSON document (schema cfd-tune-report-v1, DESIGN.md
+// §8) already contains everything the surrogate learns from: each
+// evaluated point's axis assignments and objective scores. loadWarmStart
+// re-reads that document — through the same support/Json layer that
+// wrote it, so the round-trip is lossless — and yields the feasible
+// points with their score under the requested objective. The Model
+// strategy observes them before its first round, which replaces the
+// cluster-seeding exploration phase on repeat tunes: the model starts
+// already knowing the space's cost trends.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cfd::search {
+
+/// One prior evaluated point: axis assignments (in the prior report's
+/// axis order) and its score under the requested objective.
+struct WarmStartPoint {
+  std::vector<std::pair<std::string, std::string>> params;
+  double score = 0;
+};
+
+/// Extracts the feasible points of a cfd-tune-report-v1 document that
+/// carry a score for `objectiveName`. Infeasible/pruned points are
+/// skipped (they have no scores to learn from); an empty result is
+/// valid (e.g. a prior run scored a different objective). Throws
+/// FlowError on malformed JSON or a document without a "points" array.
+std::vector<WarmStartPoint> loadWarmStart(const std::string& jsonText,
+                                          const std::string& objectiveName);
+
+/// Reads `path` and delegates to loadWarmStart. Throws FlowError when
+/// the file cannot be read.
+std::vector<WarmStartPoint> readWarmStartFile(
+    const std::string& path, const std::string& objectiveName);
+
+} // namespace cfd::search

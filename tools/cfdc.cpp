@@ -12,8 +12,9 @@
 //    through the session cache and print one row per variant
 //    (DESIGN.md §3);
 //  * --tune: search the axes with a strategy (exhaustive, seeded
-//    random, hill-climb), score pluggable objectives, and report the
-//    Pareto frontier as a table and/or a JSON report (DESIGN.md §7-§8).
+//    random, hill-climb, model-guided — DESIGN.md §14), score
+//    pluggable objectives, and report the Pareto frontier as a table
+//    and/or a JSON report (DESIGN.md §7-§8).
 //
 // --async-jobs=N drives --sweep/--tune through the session's async job
 // queue (DESIGN.md §11): a sweep becomes one batch of per-variant
@@ -74,8 +75,15 @@ struct CliOptions {
   bool tune = false;
   cfd::SearchStrategy strategy = cfd::SearchStrategy::Exhaustive;
   std::uint64_t seed = 1;
+  bool samplesExplicit = false;
   std::size_t samples = 16;
+  bool maxStepsExplicit = false;
   std::size_t maxSteps = 32;
+  bool halvingRoundsExplicit = false;
+  std::size_t halvingRounds = 2;
+  bool keepFractionExplicit = false;
+  double keepFraction = 1.0 / 3.0;
+  std::string warmStartPath;
   std::vector<std::string> objectiveNames;
   /// Name of the first --tune-only flag seen, for the without---tune
   /// diagnostic (these must never be silently ignored).
@@ -155,12 +163,25 @@ Design-space search:
                            unroll x sharing x decoupled space when no
                            --sweep is given) instead of printing every
                            row. STRATEGY: exhaustive (default) | random
-                           | hillclimb. Prints evaluated points and the
-                           Pareto frontier; deterministic for a fixed
-                           seed and space (DESIGN.md §7)
-  --seed=N                 random-strategy sampling seed (default: 1)
-  --samples=N              random-strategy distinct points (default: 16)
-  --max-steps=N            hill-climb move cap (default: 32)
+                           | hillclimb | model. Prints evaluated points
+                           and the Pareto frontier; deterministic for a
+                           fixed seed and space (DESIGN.md §7)
+  --strategy=NAME          same as --tune=NAME; requires --tune
+  --seed=N                 random/model strategy seed (default: 1)
+  --samples=N              random-strategy distinct points (default: 16);
+                           requires --strategy=random
+  --max-steps=N            hill-climb move cap (default: 32); requires
+                           --strategy=hillclimb
+  --warm-start=FILE        model strategy: pre-fit the surrogate from a
+                           prior --tune JSON report (enough prior
+                           points skip the seeding compiles entirely,
+                           DESIGN.md §14); requires --strategy=model
+  --halving-rounds=N       model strategy: surrogate-ranked halving
+                           rounds after seeding (default: 2); requires
+                           --strategy=model
+  --keep-fraction=F        model strategy: fraction in (0,1] surviving
+                           each halving cut (default: 1/3); requires
+                           --strategy=model
   --objectives=a,b,...     scoring objectives, all minimized: latency|
                            bram|dsp|lut|compile_ms (default: latency,bram)
 
@@ -200,6 +221,18 @@ int parseNonNegativeInt(const std::string& value, const std::string& flag) {
   if (parsed < 0)
     usage(flag + " expects a non-negative integer (got '" + value + "')");
   return parsed;
+}
+
+double parseFraction(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    if (consumed != value.size() || !(parsed > 0.0) || parsed > 1.0)
+      usage(flag + " expects a fraction in (0, 1] (got '" + value + "')");
+    return parsed;
+  } catch (const std::exception&) {
+    usage(flag + " expects a fraction in (0, 1] (got '" + value + "')");
+  }
 }
 
 std::vector<std::string> splitCsv(const std::string& csv) {
@@ -304,6 +337,13 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
       } catch (const cfd::FlowError& e) {
         usage(e.what());
       }
+    } else if (consumeValue(arg, "--strategy=", value)) {
+      try {
+        options.strategy = cfd::searchStrategyByName(value);
+      } catch (const cfd::FlowError& e) {
+        usage(e.what());
+      }
+      options.tuneOnlyFlag = "--strategy";
     } else if (consumeValue(arg, "--seed=", value)) {
       options.seed =
           static_cast<std::uint64_t>(parseNonNegativeInt(value, "--seed"));
@@ -311,11 +351,27 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
     } else if (consumeValue(arg, "--samples=", value)) {
       options.samples = static_cast<std::size_t>(
           parseNonNegativeInt(value, "--samples"));
+      options.samplesExplicit = true;
       options.tuneOnlyFlag = "--samples";
     } else if (consumeValue(arg, "--max-steps=", value)) {
       options.maxSteps = static_cast<std::size_t>(
           parseNonNegativeInt(value, "--max-steps"));
+      options.maxStepsExplicit = true;
       options.tuneOnlyFlag = "--max-steps";
+    } else if (consumeValue(arg, "--warm-start=", value)) {
+      if (value.empty())
+        usage("--warm-start expects a report file path");
+      options.warmStartPath = value;
+      options.tuneOnlyFlag = "--warm-start";
+    } else if (consumeValue(arg, "--halving-rounds=", value)) {
+      options.halvingRounds = static_cast<std::size_t>(
+          parseNonNegativeInt(value, "--halving-rounds"));
+      options.halvingRoundsExplicit = true;
+      options.tuneOnlyFlag = "--halving-rounds";
+    } else if (consumeValue(arg, "--keep-fraction=", value)) {
+      options.keepFraction = parseFraction(value, "--keep-fraction");
+      options.keepFractionExplicit = true;
+      options.tuneOnlyFlag = "--keep-fraction";
     } else if (consumeValue(arg, "--objectives=", value)) {
       options.objectiveNames = splitCsv(value);
       if (options.objectiveNames.empty())
@@ -345,6 +401,28 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
     if (options.emitExplicit && options.emit != "json")
       usage("--tune only supports --emit=json (got --emit=" + options.emit +
             ")");
+    // Strategy-specific knobs on the wrong strategy would be silently
+    // ignored — refuse them, like the mode-only flags below.
+    if (options.samplesExplicit &&
+        options.strategy != cfd::SearchStrategy::Random)
+      usage("--samples requires --strategy=random (only the random "
+            "strategy draws samples)");
+    if (options.maxStepsExplicit &&
+        options.strategy != cfd::SearchStrategy::HillClimb)
+      usage("--max-steps requires --strategy=hillclimb (only the "
+            "hill-climb strategy takes steps)");
+    if (!options.warmStartPath.empty() &&
+        options.strategy != cfd::SearchStrategy::Model)
+      usage("--warm-start requires --strategy=model (only the model "
+            "strategy pre-fits a surrogate)");
+    if (options.halvingRoundsExplicit &&
+        options.strategy != cfd::SearchStrategy::Model)
+      usage("--halving-rounds requires --strategy=model (only the model "
+            "strategy runs halving rounds)");
+    if (options.keepFractionExplicit &&
+        options.strategy != cfd::SearchStrategy::Model)
+      usage("--keep-fraction requires --strategy=model (only the model "
+            "strategy cuts the candidate pool)");
   } else {
     if (!options.tuneOnlyFlag.empty())
       usage(options.tuneOnlyFlag + " requires --tune");
@@ -618,6 +696,9 @@ int runTune(const CliOptions& options, cfd::Session& session,
       .seed(options.seed)
       .samples(options.samples)
       .maxSteps(options.maxSteps)
+      .halvingRounds(options.halvingRounds)
+      .keepFraction(options.keepFraction)
+      .warmStart(options.warmStartPath)
       .objectives(options.objectiveNames)
       .workers(options.jobs)
       .simulateElements(options.simulateElements);
@@ -696,6 +777,18 @@ int runTune(const CliOptions& options, cfd::Session& session,
             << " from cache) on " << report.workers
             << (report.workers == 1 ? " worker in " : " workers in ")
             << formatFixed(report.wallMillis, 1) << " ms\n";
+  if (report.strategy == cfd::SearchStrategy::Model) {
+    std::size_t proxyEvals = 0;
+    std::size_t skipped = 0;
+    for (const auto& round : report.modelRounds) {
+      proxyEvals += round.proxyEvaluations;
+      skipped += round.compilesSkipped;
+    }
+    std::cout << "  model: " << report.warmStartPoints
+              << " warm-start points, " << report.modelRounds.size()
+              << " rounds, " << proxyEvals << " proxy evaluations, "
+              << skipped << " compiles skipped\n";
+  }
   printSessionSummary(session, report.stagesAdoptedTotal);
   std::cout << "  Pareto frontier: " << report.frontier.size()
             << (report.frontier.size() == 1 ? " point" : " points");
