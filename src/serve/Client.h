@@ -1,0 +1,84 @@
+// cfd::serve::Client — blocking client for the compile daemon
+// (DESIGN.md §15).
+//
+// The client side of serve/Protocol.h used by `cfdc --connect`, the
+// serve tests, and bench_serve_flood: connect() to a daemon's socket,
+// then call() requests and get matched responses back. call() blocks;
+// for pipelined use, send() several requests and receive() each id as
+// needed — responses arriving for other ids are stashed and handed
+// out when asked for, so out-of-order arrival (priorities, cancel
+// acks) never loses a message.
+//
+// A Client is deliberately single-threaded (no internal locking): one
+// client per thread, as many clients per process as you like — that is
+// exactly the flood-bench shape.
+#pragma once
+
+#include "serve/Protocol.h"
+#include "support/Expected.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cfd::serve {
+
+class Client {
+public:
+  Client() = default;
+  ~Client() { closeConnection(); }
+
+  Client(Client&& other) noexcept { *this = std::move(other); }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      closeConnection();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+      buffer_ = std::move(other.buffer_);
+      stash_ = std::move(other.stash_);
+      nextId_ = other.nextId_;
+    }
+    return *this;
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a daemon's socket; failure carries one stage-"serve"
+  /// diagnostic (no daemon, bad path, ...).
+  static Expected<Client> connect(const std::string& socketPath);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Fresh request id (1, 2, ... per client).
+  std::int64_t nextId() { return nextId_++; }
+
+  /// Sends `request` (assigning a fresh id when it has none) and
+  /// blocks until its response arrives. A protocol-error response the
+  /// daemon addressed to id 0 (it could not read our id) also resolves
+  /// the call.
+  Expected<Response> call(Request request);
+
+  /// Fire-and-forget send; false when the connection is down.
+  bool send(const Request& request);
+
+  /// Blocks until the response with `id` arrives (stashing others).
+  Expected<Response> receive(std::int64_t id);
+
+  /// Half-closes the write side: the daemon sees EOF — exactly what a
+  /// crashed client looks like — while this end can still drain
+  /// responses. Used by the disconnect-cancels-job test.
+  void shutdownWrites();
+
+  void closeConnection();
+
+private:
+  /// Reads one full line from the socket; false on EOF/error.
+  bool readLine(std::string& line);
+
+  int fd_ = -1;
+  std::string buffer_;
+  std::vector<Response> stash_;
+  std::int64_t nextId_ = 1;
+};
+
+} // namespace cfd::serve

@@ -1,0 +1,580 @@
+// Tests for the compile daemon (DESIGN.md §15): pinned wire goldens
+// for every request kind plus the malformed-request and
+// version-mismatch error shapes, concurrent clients sharing one
+// Session's caches through a live server, disconnect- and
+// shutdown-driven cancellation, stale-socket replacement, and daemon
+// restart warmth through a shared --cache-dir. The TSan CI job runs
+// this suite alongside test_async.
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace cfd::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------
+// Protocol goldens: the exact one-line wire form of each message kind
+// is pinned, so shape drift — which breaks clients built against the
+// documented protocol — fails a test instead of shipping silently
+// (same contract style as test_diagnostics_golden.cpp).
+// ---------------------------------------------------------------------
+
+TEST(ServeProtocolGolden, CompileRequestWire) {
+  Request request;
+  request.kind = RequestKind::Compile;
+  request.id = 7;
+  request.source = "v = u\n";
+  request.params = {{"unroll", "2"}, {"opt", "1"}};
+  request.artifacts = {"c", "report"};
+  request.priority = "high";
+  request.deadlineMillis = 250;
+  EXPECT_EQ(request.encode(),
+            R"({"cfd_serve":1,"id":7,"kind":"compile","source":"v = u\n",)"
+            R"("params":{"unroll":"2","opt":"1"},)"
+            R"("artifacts":["c","report"],)"
+            R"("priority":"high","deadline_ms":250})");
+}
+
+TEST(ServeProtocolGolden, MinimalRequestsOmitDefaultedMembers) {
+  Request status;
+  status.kind = RequestKind::Status;
+  status.id = 3;
+  EXPECT_EQ(status.encode(), R"({"cfd_serve":1,"id":3,"kind":"status"})");
+
+  Request shutdown;
+  shutdown.kind = RequestKind::Shutdown;
+  shutdown.id = 4;
+  EXPECT_EQ(shutdown.encode(),
+            R"({"cfd_serve":1,"id":4,"kind":"shutdown"})");
+
+  Request cancel;
+  cancel.kind = RequestKind::Cancel;
+  cancel.id = 9;
+  cancel.target = 4;
+  EXPECT_EQ(cancel.encode(),
+            R"({"cfd_serve":1,"id":9,"kind":"cancel","target":4})");
+}
+
+TEST(ServeProtocolGolden, SweepRequestWire) {
+  Request request;
+  request.kind = RequestKind::Sweep;
+  request.id = 2;
+  request.source = "v = u\n";
+  request.axes = {{"unroll", {"1", "2"}}, {"opt", {"0", "1"}}};
+  EXPECT_EQ(request.encode(),
+            R"({"cfd_serve":1,"id":2,"kind":"sweep","source":"v = u\n",)"
+            R"("axes":[{"key":"unroll","values":["1","2"]},)"
+            R"({"key":"opt","values":["0","1"]}]})");
+}
+
+TEST(ServeProtocolGolden, TuneRequestWireSerializesNonDefaultsOnly) {
+  Request request;
+  request.kind = RequestKind::Tune;
+  request.id = 5;
+  request.source = "v = u\n";
+  request.axes = {{"unroll", {"1", "2"}}};
+  request.strategy = "random";
+  request.seed = 42;
+  request.samples = 8;
+  // maxSteps stays 32 (default) and must not appear on the wire.
+  EXPECT_EQ(request.encode(),
+            R"({"cfd_serve":1,"id":5,"kind":"tune","source":"v = u\n",)"
+            R"("axes":[{"key":"unroll","values":["1","2"]}],)"
+            R"("strategy":"random","seed":42,"samples":8})");
+}
+
+TEST(ServeProtocolGolden, RequestsRoundTripThroughParse) {
+  Request compile;
+  compile.kind = RequestKind::Compile;
+  compile.id = 7;
+  compile.source = "v = u\n";
+  compile.params = {{"unroll", "2"}};
+  compile.artifacts = {"c"};
+  compile.priority = "low";
+  compile.deadlineMillis = 125.5;
+
+  Request tune;
+  tune.kind = RequestKind::Tune;
+  tune.id = 8;
+  tune.source = "v = u\n";
+  tune.axes = {{"m", {"4", "8"}}};
+  tune.strategy = "hillclimb";
+  tune.maxSteps = 5;
+  tune.objectives = {"latency", "bram"};
+
+  Request cancel;
+  cancel.kind = RequestKind::Cancel;
+  cancel.id = 9;
+  cancel.target = 7;
+
+  for (const Request& original : {compile, tune, cancel}) {
+    const Expected<Request> parsed = Request::parse(original.encode());
+    ASSERT_TRUE(parsed.ok()) << parsed.errorText();
+    EXPECT_EQ(*parsed, original);
+  }
+}
+
+TEST(ServeProtocolGolden, ErrorResponseWire) {
+  DiagnosticList diagnostics;
+  diagnostics.error({}, "malformed request: unexpected end of input",
+                    "serve");
+  const Response response =
+      errorResponse(0, RequestKind::Invalid, std::move(diagnostics));
+  EXPECT_EQ(response.encode(),
+            R"({"cfd_serve":1,"id":0,"kind":"error","ok":false,)"
+            R"("diagnostics":[{"severity":"error",)"
+            R"("message":"malformed request: unexpected end of input",)"
+            R"("stage":"serve"}]})");
+}
+
+TEST(ServeProtocolGolden, CancelledResponseWire) {
+  DiagnosticList diagnostics;
+  diagnostics.error({}, "cancelled: client disconnected", "serve");
+  const Response response = errorResponse(12, RequestKind::Compile,
+                                          std::move(diagnostics),
+                                          /*cancelled=*/true);
+  EXPECT_EQ(response.encode(),
+            R"({"cfd_serve":1,"id":12,"kind":"compile","ok":false,)"
+            R"("cancelled":true,)"
+            R"("diagnostics":[{"severity":"error",)"
+            R"("message":"cancelled: client disconnected",)"
+            R"("stage":"serve"}]})");
+}
+
+TEST(ServeProtocolGolden, ResponseRoundTripsDiagnostics) {
+  DiagnosticList diagnostics;
+  diagnostics.error(SourceLocation{2, 5}, "undefined tensor 'w'", "sema");
+  diagnostics.warning({}, "unused input 'S'", "sema");
+  const Response original =
+      errorResponse(4, RequestKind::Compile, std::move(diagnostics));
+  const Expected<Response> parsed = Response::parse(original.encode());
+  ASSERT_TRUE(parsed.ok()) << parsed.errorText();
+  EXPECT_EQ(parsed->id, 4);
+  EXPECT_EQ(parsed->kind, RequestKind::Compile);
+  EXPECT_FALSE(parsed->ok);
+  ASSERT_EQ(parsed->diagnostics.size(), 2u);
+  const Diagnostic& error = parsed->diagnostics.all()[0];
+  EXPECT_EQ(error.severity, Severity::Error);
+  EXPECT_EQ(error.message, "undefined tensor 'w'");
+  EXPECT_EQ(error.stage, "sema");
+  EXPECT_EQ(error.location.line, 2);
+  EXPECT_EQ(error.location.column, 5);
+  EXPECT_EQ(parsed->diagnostics.all()[1].severity, Severity::Warning);
+}
+
+/// Parses `line` expecting a failure; returns the single error message.
+std::string parseError(const std::string& line,
+                       std::int64_t* echoId = nullptr) {
+  const Expected<Request> parsed = Request::parse(line, echoId);
+  EXPECT_FALSE(parsed.ok()) << "parsed: " << line;
+  if (parsed.ok())
+    return {};
+  EXPECT_EQ(parsed.diagnostics().size(), 1u);
+  EXPECT_EQ(parsed.diagnostics().all()[0].stage, "serve");
+  return parsed.diagnostics().all()[0].message;
+}
+
+TEST(ServeProtocolGolden, MalformedAndMismatchedRequestsPinnedErrors) {
+  EXPECT_EQ(parseError("this is not json"),
+            "malformed request: JSON parse error at offset 0: "
+            "invalid literal");
+  EXPECT_EQ(parseError("[1,2]"),
+            "malformed request: expected a JSON object");
+  EXPECT_EQ(parseError(R"({"id":1,"kind":"status"})"),
+            "not a cfd-serve message (missing 'cfd_serve' version member)");
+  EXPECT_EQ(parseError(R"({"cfd_serve":2,"id":1,"kind":"status"})"),
+            "protocol version mismatch: peer speaks v2, this build "
+            "speaks v1");
+  EXPECT_EQ(parseError(R"({"cfd_serve":1,"id":1,"kind":"frobnicate"})"),
+            "unknown request kind 'frobnicate' (valid: compile, sweep, "
+            "tune, status, cancel, shutdown)");
+  EXPECT_EQ(parseError(R"({"cfd_serve":1,"kind":"status"})"),
+            "request needs a positive 'id' to address the response");
+  EXPECT_EQ(parseError(R"({"cfd_serve":1,"id":1,"kind":"compile"})"),
+            "'compile' request has no 'source'");
+  EXPECT_EQ(parseError(R"({"cfd_serve":1,"id":1,"kind":"cancel"})"),
+            "'cancel' request has no 'target' request id");
+  EXPECT_EQ(parseError(R"({"cfd_serve":1,"id":1,"kind":"compile",)"
+                       R"("source":"v = u","priority":"urgent"})"),
+            "unknown priority 'urgent' (valid: low, normal, high)");
+}
+
+TEST(ServeProtocolGolden, ErrorParseStillEchoesTheRequestId) {
+  std::int64_t echoId = -1;
+  parseError(R"({"cfd_serve":1,"id":41,"kind":"frobnicate"})", &echoId);
+  EXPECT_EQ(echoId, 41); // readable id survives a kind error
+  parseError("this is not json", &echoId);
+  EXPECT_EQ(echoId, 0); // unreadable id resets to the reserved 0
+}
+
+// ---------------------------------------------------------------------
+// Live-server tests: a real daemon on a per-test socket path.
+// ---------------------------------------------------------------------
+
+/// Occupies every pool worker until release() is called, so jobs
+/// submitted meanwhile stay deterministically queued (same helper
+/// shape as test_async.cpp).
+class PoolBlocker {
+public:
+  PoolBlocker(Session& session, int workers = 1)
+      : gate_(release_.get_future().share()) {
+    for (int i = 0; i < workers; ++i)
+      session.workerPool().post(
+          [this] {
+            ++running_;
+            gate_.wait();
+          },
+          WorkerPool::kPriorityHigh);
+    while (running_.load() < workers)
+      std::this_thread::yield();
+  }
+  ~PoolBlocker() { release(); }
+
+  void release() {
+    if (!released_) {
+      released_ = true;
+      release_.set_value();
+    }
+  }
+
+private:
+  std::promise<void> release_;
+  std::shared_future<void> gate_;
+  std::atomic<int> running_{0};
+  bool released_ = false;
+};
+
+/// A per-test socket path (and scratch dir) under the system temp
+/// root. Unix socket paths are limited to ~107 bytes, so the fixture
+/// keeps names short instead of deriving them from the test name.
+class ServeTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    root_ = (fs::temp_directory_path() /
+             ("cfd_serve_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter_++)))
+                .string();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+    socketPath_ = root_ + "/d.sock";
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  Request compileRequest(const std::string& source,
+                         std::vector<std::pair<std::string, std::string>>
+                             params = {}) {
+    Request request;
+    request.kind = RequestKind::Compile;
+    request.source = source;
+    request.params = std::move(params);
+    return request;
+  }
+
+  /// Sends a status request and returns the response's result object.
+  json::Value statusOf(Client& client) {
+    Request request;
+    request.kind = RequestKind::Status;
+    const Expected<Response> response = client.call(std::move(request));
+    EXPECT_TRUE(response.ok() && response->ok);
+    return response->result;
+  }
+
+  std::string root_;
+  std::string socketPath_;
+  static inline std::atomic<int> counter_{0};
+};
+
+TEST_F(ServeTest, EightClientsShareOneStageCacheAcrossWaves) {
+  Session session(SessionOptions{.workers = 4});
+  Server server(session, {.socketPath = socketPath_});
+  const Expected<bool> started = server.start();
+  ASSERT_TRUE(started.ok()) << started.errorText();
+
+  const std::string source = test::inverseHelmholtzSource(8);
+  constexpr int kClients = 8;
+
+  // One wave = 8 concurrent clients, each compiling its own unroll
+  // variant. Distinct variants still share per-stage artifacts through
+  // the one StageCache (stage-prefix adoption, DESIGN.md §9).
+  auto wave = [&] {
+    std::vector<std::thread> threads;
+    std::atomic<int> okCount{0};
+    for (int i = 0; i < kClients; ++i)
+      threads.emplace_back([&, i] {
+        Expected<Client> client = Client::connect(socketPath_);
+        ASSERT_TRUE(client.ok()) << client.errorText();
+        const Expected<Response> response = client->call(compileRequest(
+            source, {{"unroll", std::to_string(1 << (i % 4))}}));
+        ASSERT_TRUE(response.ok()) << response.errorText();
+        ASSERT_TRUE(response->ok) << response->encode();
+        EXPECT_TRUE(response->result.contains("cache_hit"));
+        okCount += response->ok ? 1 : 0;
+      });
+    for (std::thread& thread : threads)
+      thread.join();
+    return okCount.load();
+  };
+
+  ASSERT_EQ(wave(), kClients);
+  Expected<Client> probe = Client::connect(socketPath_);
+  ASSERT_TRUE(probe.ok()) << probe.errorText();
+  const json::Value cold = statusOf(*probe);
+  const std::int64_t coldFlowHits =
+      cold.at("stats").at("flow_cache").at("hits").asInt();
+  const std::int64_t coldStageHits =
+      cold.at("stats").at("stage_cache").at("hits").asInt();
+  // 8 clients over 4 distinct variants: repeats hit the flow cache,
+  // and distinct variants share stage prefixes.
+  EXPECT_GT(coldStageHits, 0);
+
+  // The identical second wave rides the warm caches: every compile is
+  // a flow-cache hit, so the hit rate strictly rises.
+  ASSERT_EQ(wave(), kClients);
+  const json::Value warm = statusOf(*probe);
+  const std::int64_t warmFlowHits =
+      warm.at("stats").at("flow_cache").at("hits").asInt();
+  EXPECT_GE(warmFlowHits, coldFlowHits + kClients);
+  EXPECT_EQ(warm.at("stats").at("flow_cache").at("misses").asInt(),
+            cold.at("stats").at("flow_cache").at("misses").asInt());
+
+  // The status payload also carries the server's own counters and the
+  // same human report the CLI prints.
+  EXPECT_EQ(warm.at("server").at("protocol_errors").asInt(), 0);
+  EXPECT_NE(warm.at("report").asString().find("flow cache:"),
+            std::string::npos);
+
+  server.requestStop();
+  server.join();
+  EXPECT_FALSE(fs::exists(socketPath_));
+  // No lost or duplicate responses: one response per request.
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.requestsReceived, stats.responsesSent);
+  EXPECT_EQ(stats.connectionsAccepted, stats.connectionsClosed);
+}
+
+TEST_F(ServeTest, ClientDisconnectCancelsItsQueuedJob) {
+  Session session(SessionOptions{.workers = 1});
+  Server server(session, {.socketPath = socketPath_});
+  ASSERT_TRUE(server.start().ok());
+
+  PoolBlocker blocker(session); // the submitted compile stays queued
+  {
+    Expected<Client> client = Client::connect(socketPath_);
+    ASSERT_TRUE(client.ok()) << client.errorText();
+    Request request = compileRequest(test::kInverseHelmholtz);
+    request.id = client->nextId();
+    ASSERT_TRUE(client->send(request));
+    // Wait until the daemon has actually submitted the job, then
+    // vanish without reading the response — a crashed client.
+    while (session.stats().jobsSubmitted == 0)
+      std::this_thread::yield();
+  }
+  // EOF on the connection must cancel the queued job cooperatively.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().cancelledOnDisconnect == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::yield();
+  EXPECT_EQ(server.stats().cancelledOnDisconnect, 1);
+  blocker.release();
+
+  server.requestStop();
+  server.join();
+  EXPECT_EQ(session.stats().jobsCancelled, 1);
+}
+
+TEST_F(ServeTest, ShutdownCancelsQueuedJobsAndAnswersInFlightClients) {
+  Session session(SessionOptions{.workers = 1});
+  Server server(session, {.socketPath = socketPath_});
+  ASSERT_TRUE(server.start().ok());
+
+  PoolBlocker blocker(session);
+  Expected<Client> client = Client::connect(socketPath_);
+  ASSERT_TRUE(client.ok()) << client.errorText();
+  Request request = compileRequest(test::kInverseHelmholtz);
+  request.id = client->nextId();
+  ASSERT_TRUE(client->send(request));
+  while (session.stats().jobsSubmitted == 0)
+    std::this_thread::yield();
+
+  server.requestStop(); // SIGINT/SIGTERM land here too
+  // The job is still queued behind the blocker, so the drain must
+  // cancel it — and its client still gets a response: a structured
+  // cancellation, not a dropped connection. (The blocker stays down
+  // until the response arrives, so the job can never sneak into
+  // Running first.)
+  const Expected<Response> response = client->receive(request.id);
+  blocker.release();
+  ASSERT_TRUE(response.ok()) << response.errorText();
+  EXPECT_FALSE(response->ok);
+  EXPECT_TRUE(response->cancelled) << response->encode();
+  server.join();
+  EXPECT_FALSE(fs::exists(socketPath_));
+  EXPECT_EQ(server.stats().cancelledOnShutdown, 1);
+}
+
+TEST_F(ServeTest, CompileErrorsTravelAsDiagnostics) {
+  Session session(SessionOptions{.workers = 1});
+  Server server(session, {.socketPath = socketPath_});
+  ASSERT_TRUE(server.start().ok());
+  Expected<Client> client = Client::connect(socketPath_);
+  ASSERT_TRUE(client.ok());
+
+  const Expected<Response> response =
+      client->call(compileRequest("var input A : [4\n"));
+  ASSERT_TRUE(response.ok()) << response.errorText();
+  EXPECT_FALSE(response->ok);
+  EXPECT_FALSE(response->cancelled);
+  ASSERT_TRUE(response->diagnostics.hasErrors());
+  // The compile diagnostics keep their own stage; only protocol
+  // failures are attributed to "serve".
+  EXPECT_NE(response->diagnostics.all()[0].stage, "serve");
+
+  server.requestStop();
+  server.join();
+}
+
+TEST_F(ServeTest, MalformedWireLineGetsAnIdZeroErrorResponse) {
+  Session session(SessionOptions{.workers = 1});
+  Server server(session, {.socketPath = socketPath_});
+  ASSERT_TRUE(server.start().ok());
+
+  // A raw socket, not a Client: the point is sending bytes no valid
+  // client would produce.
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, socketPath_.c_str(),
+              socketPath_.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                      sizeof(address)),
+            0);
+  const std::string line = "this is not json\n";
+  ASSERT_EQ(::send(fd, line.data(), line.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(line.size()));
+  std::string received;
+  char chunk[4096];
+  while (received.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    ASSERT_GT(n, 0);
+    received.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const Expected<Response> response =
+      Response::parse(received.substr(0, received.find('\n')));
+  ASSERT_TRUE(response.ok()) << response.errorText();
+  EXPECT_EQ(response->id, 0);
+  EXPECT_EQ(response->kind, RequestKind::Invalid);
+  EXPECT_FALSE(response->ok);
+  EXPECT_EQ(response->diagnostics.all()[0].stage, "serve");
+
+  server.requestStop();
+  server.join();
+  EXPECT_EQ(server.stats().protocolErrors, 1);
+}
+
+TEST_F(ServeTest, StaleSocketIsReplacedButALiveDaemonIsNot) {
+  // A crashed daemon leaves its socket file behind; binding a fresh
+  // listener and closing it immediately reproduces exactly that state.
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, socketPath_.c_str(),
+              socketPath_.size() + 1);
+  const int stale = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(stale, 0);
+  ASSERT_EQ(::bind(stale, reinterpret_cast<const sockaddr*>(&address),
+                   sizeof(address)),
+            0);
+  ::close(stale);
+  ASSERT_TRUE(fs::exists(socketPath_));
+
+  Session session(SessionOptions{.workers = 1});
+  Server server(session, {.socketPath = socketPath_});
+  const Expected<bool> started = server.start();
+  ASSERT_TRUE(started.ok()) << started.errorText();
+  EXPECT_EQ(server.stats().staleSocketsReplaced, 1);
+
+  // While this daemon is live, a second one must refuse the path with
+  // a structured error instead of stealing the socket.
+  Session other(SessionOptions{.workers = 1});
+  Server second(other, {.socketPath = socketPath_});
+  const Expected<bool> refused = second.start();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.errorText().find("already serving"),
+            std::string::npos);
+
+  // The live daemon is unharmed: a client can still round-trip.
+  Expected<Client> client = Client::connect(socketPath_);
+  ASSERT_TRUE(client.ok()) << client.errorText();
+  const Expected<Response> response =
+      client->call(compileRequest(test::kMatMul2D));
+  ASSERT_TRUE(response.ok() && response->ok);
+
+  server.requestStop();
+  server.join();
+}
+
+TEST_F(ServeTest, RestartedDaemonReusesTheCacheDirOnDisk) {
+  const std::string cacheDir = root_ + "/cache";
+  const std::string source = test::inverseHelmholtzSource(6);
+
+  // First daemon lifetime: cold compile, artifacts published to disk.
+  {
+    Session session(
+        SessionOptions{.workers = 1, .cacheDir = cacheDir});
+    Server server(session, {.socketPath = socketPath_});
+    ASSERT_TRUE(server.start().ok());
+    Expected<Client> client = Client::connect(socketPath_);
+    ASSERT_TRUE(client.ok());
+    const Expected<Response> response =
+        client->call(compileRequest(source));
+    ASSERT_TRUE(response.ok() && response->ok);
+    EXPECT_FALSE(response->result.at("cache_hit").asBool());
+    EXPECT_GT(session.stats().artifactStore.publishes, 0);
+    server.requestStop();
+    server.join();
+  }
+
+  // Second daemon lifetime on the same dir: the in-memory caches are
+  // empty, but the store warms the compile from disk.
+  Session session(SessionOptions{.workers = 1, .cacheDir = cacheDir});
+  Server server(session, {.socketPath = socketPath_});
+  ASSERT_TRUE(server.start().ok());
+  Expected<Client> client = Client::connect(socketPath_);
+  ASSERT_TRUE(client.ok());
+  const Expected<Response> response =
+      client->call(compileRequest(source));
+  ASSERT_TRUE(response.ok() && response->ok);
+  EXPECT_GT(session.stats().artifactStore.hits, 0);
+
+  const json::Value status = statusOf(*client);
+  EXPECT_TRUE(
+      status.at("stats").at("artifact_store").at("enabled").asBool());
+  EXPECT_GT(status.at("stats").at("artifact_store").at("hits").asInt(),
+            0);
+  server.requestStop();
+  server.join();
+}
+
+} // namespace
+} // namespace cfd::serve

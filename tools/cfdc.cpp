@@ -21,6 +21,18 @@
 // compile jobs (stage-prefix coalesced), a tune becomes one tune job,
 // and --deadline-ms bounds each job's wall clock.
 //
+// Two service modes turn the session into a shared daemon
+// (DESIGN.md §15):
+//
+//  * --serve --socket=PATH: run a long-lived compile daemon on a Unix
+//    domain socket. Every client shares this ONE session (one
+//    FlowCache/StageCache/ArtifactStore); SIGINT/SIGTERM or a client's
+//    shutdown request drain it gracefully and unlink the socket;
+//  * --connect=PATH: be a client — compile one kernel through the
+//    daemon (--emit/-o/--priority/--deadline-ms apply), or query it
+//    with --status (prints the daemon session's statsReport) or stop
+//    it with --shutdown.
+//
 // Exit codes: 0 success, 1 I/O or validation failure, 2 usage error,
 // 3 compile diagnostics (malformed DSL, infeasible constraints) — a
 // cancelled or deadline-expired async run also exits 3, with the
@@ -28,12 +40,15 @@
 //
 // Run `cfdc --help` for the full flag reference.
 #include "core/Session.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
 #include "support/Error.h"
 #include "support/Format.h"
 #include "support/Json.h"
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -89,6 +104,17 @@ struct CliOptions {
   /// diagnostic (these must never be silently ignored).
   std::string tuneOnlyFlag;
   bool diagnosticsJson = false;
+  // Daemon modes (DESIGN.md §15).
+  bool serve = false;
+  std::string socketPath;
+  std::string connectPath;
+  bool statusRequest = false;
+  bool shutdownRequest = false;
+  std::string priority;
+  /// Option flags re-recorded as tune params (unroll, m, k, ...), so
+  /// --connect can forward them over the wire instead of resolving
+  /// them locally.
+  std::vector<std::pair<std::string, std::string>> paramSpecs;
 };
 
 [[noreturn]] void usage(const std::string& error = {}) {
@@ -184,6 +210,32 @@ Design-space search:
                            --strategy=model
   --objectives=a,b,...     scoring objectives, all minimized: latency|
                            bram|dsp|lut|compile_ms (default: latency,bram)
+
+Compile daemon (DESIGN.md §15):
+  --serve                  run a long-lived compile daemon: many clients
+                           share this one session's caches over a Unix
+                           domain socket. Combines with --jobs,
+                           --stage-cache-mb, and --cache-dir only (no
+                           input file; clients send sources). SIGINT/
+                           SIGTERM or a shutdown request drain running
+                           jobs, cancel queued ones, and remove the
+                           socket; a stale socket file left by a crash
+                           is replaced on startup
+  --socket=PATH            the daemon's listening socket (required with
+                           --serve, an error without it)
+  --connect=PATH           compile KERNEL.cfd through the daemon at PATH
+                           instead of in-process; --emit/-o (and the
+                           option flags above) apply, and
+                           --diagnostics=json renders remote failures
+                           exactly like local ones
+  --status                 with --connect: print the daemon session's
+                           statsReport() (same text single-shot mode
+                           prints) instead of compiling
+  --shutdown               with --connect: ask the daemon to drain and
+                           exit
+  --priority=low|normal|high  queue priority of the submitted request
+                           (requires --connect; default normal);
+                           --deadline-ms also applies to --connect
 
 With --tune, --emit=json prints the JSON report (DESIGN.md §8) on
 stdout and -o writes it to a file; --simulate=Ne makes the latency
@@ -288,24 +340,32 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
       options.outputPath = args[i];
     } else if (arg == "--no-sharing") {
       options.flow.memory.enableSharing = false;
+      options.paramSpecs.emplace_back("sharing", "0");
     } else if (arg == "--coupled") {
       options.flow.memory.decoupled = false;
+      options.paramSpecs.emplace_back("decoupled", "0");
     } else if (consumeValue(arg, "--m=", value)) {
       options.flow.system.memories = parseInt(value, "--m");
+      options.paramSpecs.emplace_back("m", value);
     } else if (consumeValue(arg, "--k=", value)) {
       options.flow.system.kernels = parseInt(value, "--k");
+      options.paramSpecs.emplace_back("k", value);
     } else if (consumeValue(arg, "--unroll=", value)) {
       options.flow.hls.unrollFactor = parseInt(value, "--unroll");
+      options.paramSpecs.emplace_back("unroll", value);
     } else if (consumeValue(arg, "--opt-level=", value)) {
       applySweepValue(options.flow, "opt", value);
+      options.paramSpecs.emplace_back("opt", value);
     } else if (arg == "--print-ir-before") {
       options.printIrBefore = true;
     } else if (arg == "--print-ir-after") {
       options.printIrAfter = true;
     } else if (consumeValue(arg, "--objective=", value)) {
       applySweepValue(options.flow, "objective", value);
+      options.paramSpecs.emplace_back("objective", value);
     } else if (consumeValue(arg, "--layout=", value)) {
       applySweepValue(options.flow, "layout", value);
+      options.paramSpecs.emplace_back("layout", value);
     } else if (consumeValue(arg, "--simulate=", value)) {
       options.simulateElements = parseNonNegativeInt(value, "--simulate");
     } else if (consumeValue(arg, "--sweep=", value)) {
@@ -377,6 +437,24 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
       if (options.objectiveNames.empty())
         usage("--objectives has no values");
       options.tuneOnlyFlag = "--objectives";
+    } else if (arg == "--serve") {
+      options.serve = true;
+    } else if (consumeValue(arg, "--socket=", value)) {
+      if (value.empty())
+        usage("--socket expects a socket path");
+      options.socketPath = value;
+    } else if (consumeValue(arg, "--connect=", value)) {
+      if (value.empty())
+        usage("--connect expects a socket path");
+      options.connectPath = value;
+    } else if (arg == "--status") {
+      options.statusRequest = true;
+    } else if (arg == "--shutdown") {
+      options.shutdownRequest = true;
+    } else if (consumeValue(arg, "--priority=", value)) {
+      if (value != "low" && value != "normal" && value != "high")
+        usage("--priority expects low|normal|high (got '" + value + "')");
+      options.priority = value;
     } else if (arg == "--validate") {
       options.validate = true;
     } else if (consumeValue(arg, "--diagnostics=", value)) {
@@ -391,6 +469,81 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
       usage("multiple input files");
     }
   }
+  // Daemon modes first (DESIGN.md §15): --serve and --connect reject
+  // every flag they would otherwise silently ignore, exactly like the
+  // --jobs / strategy-flag guards below.
+  if (options.serve && !options.connectPath.empty())
+    usage("--serve and --connect are mutually exclusive (one process is "
+          "either the daemon or a client)");
+  if (options.serve) {
+    if (options.socketPath.empty())
+      usage("--serve requires --socket=PATH (the daemon needs a socket to "
+            "listen on)");
+    if (!options.inputPath.empty())
+      usage("--serve takes no input file (clients submit sources over the "
+            "socket)");
+    if (options.tune || !options.sweeps.empty() || !options.tuneOnlyFlag.empty())
+      usage("--serve cannot be combined with --sweep/--tune flags (daemon "
+            "clients choose per request)");
+    if (options.emitExplicit || !options.outputPath.empty() ||
+        options.validate || options.simulateElements > 0 ||
+        options.printIrBefore || options.printIrAfter ||
+        options.diagnosticsJson)
+      usage("--serve cannot be combined with single-shot flags (--emit, -o, "
+            "--validate, --simulate, --print-ir-*, --diagnostics; daemon "
+            "clients choose per request)");
+    if (options.asyncJobsExplicit || options.deadlineMsExplicit ||
+        options.explainCache)
+      usage("--serve cannot be combined with --async-jobs, --deadline-ms, "
+            "or --explain-cache (every daemon request is already an async "
+            "job; clients set priorities and deadlines per request)");
+    if (options.statusRequest || options.shutdownRequest ||
+        !options.priority.empty())
+      usage("--status/--shutdown/--priority are client flags and require "
+            "--connect=PATH");
+    return options;
+  }
+  if (!options.socketPath.empty())
+    usage("--socket requires --serve (it names the daemon's listening "
+          "socket; clients use --connect=PATH)");
+  if (!options.connectPath.empty()) {
+    if (options.statusRequest && options.shutdownRequest)
+      usage("--status and --shutdown are mutually exclusive");
+    if ((options.statusRequest || options.shutdownRequest) &&
+        !options.inputPath.empty())
+      usage("--status/--shutdown take no input file (they query the "
+            "daemon, not a kernel)");
+    if (!options.statusRequest && !options.shutdownRequest &&
+        options.inputPath.empty())
+      usage("--connect needs an input file to compile (or --status / "
+            "--shutdown)");
+    if (options.tune || !options.sweeps.empty() ||
+        !options.tuneOnlyFlag.empty())
+      usage("--connect only submits single compiles (run sweeps/tunes "
+            "in-process, or point --warm-start at reports produced "
+            "against the daemon's shared cache dir)");
+    if (options.jobsExplicit || options.asyncJobsExplicit ||
+        options.explainCache || options.stageCacheMbExplicit ||
+        !options.cacheDir.empty())
+      usage("--jobs/--async-jobs/--explain-cache/--stage-cache-mb/"
+            "--cache-dir configure a session and belong to the daemon "
+            "(--serve), not to --connect clients");
+    if (options.validate || options.simulateElements > 0 ||
+        options.printIrBefore || options.printIrAfter)
+      usage("--validate/--simulate/--print-ir-* need the flow in-process "
+            "and cannot be combined with --connect");
+    if (options.emitExplicit && options.emit == "json")
+      usage("--emit=json requires --tune");
+    return options;
+  }
+  if (options.statusRequest)
+    usage("--status requires --connect=PATH (it queries a running daemon)");
+  if (options.shutdownRequest)
+    usage("--shutdown requires --connect=PATH (it stops a running daemon)");
+  if (!options.priority.empty())
+    usage("--priority requires --connect (only daemon requests carry a "
+          "queue priority; local sweeps/tunes schedule themselves)");
+
   if (options.inputPath.empty())
     usage("no input file");
 
@@ -456,8 +609,8 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
     usage("--jobs and --async-jobs are mutually exclusive (both size the "
           "worker pool)");
   if (options.deadlineMsExplicit && !options.asyncJobsExplicit)
-    usage("--deadline-ms requires --async-jobs (only queued jobs carry a "
-          "deadline)");
+    usage("--deadline-ms requires --async-jobs or --connect (only queued "
+          "jobs carry a deadline)");
   return options;
 }
 
@@ -889,11 +1042,138 @@ int runSingleShot(const CliOptions& options, cfd::Session& session,
   return 0;
 }
 
+/// Prints connection/transport failures (not compile diagnostics) the
+/// way the rest of cfdc prints I/O errors, and returns kExitIo.
+int reportServeFailure(const cfd::DiagnosticList& diagnostics) {
+  for (const cfd::Diagnostic& diagnostic : diagnostics)
+    std::cerr << "cfdc: " << diagnostic.str() << "\n";
+  return kExitIo;
+}
+
+// --serve routes SIGINT/SIGTERM into the server's async-signal-safe
+// requestStop(); the pointer is only set while runServe() is live.
+cfd::serve::Server* gServer = nullptr;
+
+void onStopSignal(int) {
+  if (gServer != nullptr)
+    gServer->requestStop();
+}
+
+int runServe(const CliOptions& options) {
+  // One session for the daemon's whole lifetime: every client shares
+  // its FlowCache, StageCache, and (with --cache-dir) ArtifactStore.
+  cfd::Session session(cfd::SessionOptions{.workers = options.jobs,
+                                           .cacheDir = options.cacheDir});
+  applyStageCacheBound(options, session);
+
+  cfd::serve::Server server(session,
+                            {.socketPath = options.socketPath});
+  const cfd::Expected<bool> started = server.start();
+  if (!started)
+    return reportServeFailure(started.diagnostics());
+
+  gServer = &server;
+  std::signal(SIGINT, onStopSignal);
+  std::signal(SIGTERM, onStopSignal);
+  std::cerr << "cfdc: serving on " << options.socketPath
+            << " (SIGINT/SIGTERM or --connect=" << options.socketPath
+            << " --shutdown to stop)\n";
+  server.join();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  gServer = nullptr;
+
+  // The drain is done: report what the shared session did, like the
+  // sweep/tune summaries, plus the server's own counters.
+  const cfd::serve::Server::Stats stats = server.stats();
+  std::cout << session.statsReport();
+  std::cout << "  serve: " << stats.connectionsAccepted
+            << " connections, " << stats.requestsReceived << " requests, "
+            << stats.responsesSent << " responses, "
+            << stats.cancelledOnDisconnect + stats.cancelledOnShutdown
+            << " cancelled\n";
+  return 0;
+}
+
+int runConnect(const CliOptions& options, const std::string& source) {
+  cfd::Expected<cfd::serve::Client> client =
+      cfd::serve::Client::connect(options.connectPath);
+  if (!client)
+    return reportServeFailure(client.diagnostics());
+
+  cfd::serve::Request request;
+  if (options.statusRequest || options.shutdownRequest) {
+    request.kind = options.statusRequest ? cfd::serve::RequestKind::Status
+                                         : cfd::serve::RequestKind::Shutdown;
+    const cfd::Expected<cfd::serve::Response> response =
+        client->call(std::move(request));
+    if (!response)
+      return reportServeFailure(response.diagnostics());
+    if (!response->ok)
+      return reportDiagnostics(response->diagnostics,
+                               options.diagnosticsJson);
+    if (options.statusRequest)
+      std::cout << response->result.at("report").asString();
+    else
+      std::cout << "daemon on " << options.connectPath << " is draining\n";
+    return 0;
+  }
+
+  // A --connect compile mirrors runSingleShot: validate --emit up
+  // front (usage error, not a daemon round-trip), then ask the daemon
+  // to materialize exactly that artifact.
+  bool knownEmit = options.emit == "report";
+  for (const EmitKind& kind : kEmitKinds)
+    if (options.emit == kind.name)
+      knownEmit = true;
+  if (!knownEmit)
+    usage("unknown artifact '" + options.emit + "'");
+
+  request.kind = cfd::serve::RequestKind::Compile;
+  request.source = source;
+  request.params = options.paramSpecs;
+  request.artifacts = {options.emit};
+  request.priority = options.priority;
+  request.deadlineMillis = static_cast<double>(options.deadlineMs);
+
+  const cfd::Expected<cfd::serve::Response> response =
+      client->call(std::move(request));
+  if (!response)
+    return reportServeFailure(response.diagnostics());
+  if (!response->ok)
+    return reportDiagnostics(response->diagnostics,
+                             options.diagnosticsJson);
+  for (const cfd::Diagnostic& diagnostic : response->diagnostics)
+    std::cerr << "cfdc: " << diagnostic.str() << "\n"; // warnings/notes
+
+  const std::string& artifact =
+      response->result.at("artifacts").at(options.emit).asString();
+  if (options.outputPath.empty()) {
+    std::cout << artifact;
+  } else {
+    std::ofstream out(options.outputPath);
+    if (!out) {
+      std::cerr << "cfdc: cannot write '" << options.outputPath << "'\n";
+      return kExitIo;
+    }
+    out << artifact;
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
   const CliOptions options =
       parseArgs(std::vector<std::string>(argv + 1, argv + argc));
+
+  // Daemon modes never read a local input file themselves: --serve has
+  // none, and --connect --status/--shutdown query the daemon directly.
+  if (options.serve)
+    return runServe(options);
+  if (!options.connectPath.empty() &&
+      (options.statusRequest || options.shutdownRequest))
+    return runConnect(options, "");
 
   std::ifstream input(options.inputPath);
   if (!input) {
@@ -902,6 +1182,9 @@ int main(int argc, char** argv) {
   }
   std::stringstream source;
   source << input.rdbuf();
+
+  if (!options.connectPath.empty())
+    return runConnect(options, source.str());
 
   // One session per invocation (DESIGN.md §10): --sweep/--tune and the
   // single-shot path all compile through the same caches and pool.
