@@ -1,0 +1,217 @@
+// Distributed sweep scaling (DESIGN.md §16, ROADMAP item 2 scale-out):
+// a 200-point design sweep sharded over worker daemons, 4 workers
+// versus 1, on the paper's inverse-Helmholtz operator.
+//
+// Each worker is a forked single-threaded daemon (WorkerPoolSpawner
+// in-process mode), so speedup comes from process-level sharding
+// alone — the same shape as `cfdc --distribute=N`. The 4-worker run
+// must be >= 2x faster than the 1-worker run AND merge to bytes
+// identical to a local single-process sweep over the same space; the
+// bench fails hard on either count.
+//
+//   $ ./bench_dist_sweep [workers] [baseline-workers]
+//
+// Emits BENCH_dist_sweep.json (schema cfd-dist-sweep-v1) for the
+// regression gate (scripts/check_bench_regression.py).
+#include "BenchCommon.h"
+
+#include "dist/Coordinator.h"
+#include "dist/WorkerPoolSpawner.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+#include <unistd.h>
+
+namespace {
+
+double millisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// A deep operator chain: `depth` back-to-back Helmholtz-style
+/// contractions. The paper's p=11 kernel compiles in well under a
+/// millisecond through the analytic pipeline, so a distributed run
+/// would be all protocol overhead; the chain scales the scheduling
+/// and memory-planning work per design point until sharding has
+/// something real to divide.
+std::string chainedSource(int depth) {
+  const std::string n = "11";
+  std::string src;
+  src += "var input  S : [" + n + " " + n + "]\n";
+  src += "var input  u : [" + n + " " + n + " " + n + "]\n";
+  src += "var output v : [" + n + " " + n + " " + n + "]\n";
+  for (int i = 0; i + 1 < depth; ++i)
+    src += "var t" + std::to_string(i) + " : [" + n + " " + n + " " + n +
+           "]\n";
+  std::string prev = "u";
+  for (int i = 0; i < depth; ++i) {
+    const std::string name =
+        i + 1 < depth ? "t" + std::to_string(i) : std::string("v");
+    src += name + " = S # S # S # " + prev +
+           " . [[1 6] [3 7] [5 8]]\n";
+    prev = name;
+  }
+  return src;
+}
+
+/// The 200-point design space: 5 x 5 x 2 x 2 x 2 over the keys the
+/// tuner understands.
+std::vector<cfd::TuneAxis> designSpace() {
+  return {{"unroll", {"1", "2", "4", "8", "16"}},
+          {"m", {"2", "4", "8", "16", "32"}},
+          {"opt", {"0", "1"}},
+          {"sharing", {"0", "1"}},
+          {"objective", {"hw", "sw"}}};
+}
+
+/// One distributed run over `workers` forked daemons; fills wallMs.
+cfd::Expected<cfd::dist::DistSweepResult>
+distributedRun(const std::string& source, int workers,
+               const std::string& socketDir, double& wallMs) {
+  cfd::dist::WorkerPoolSpawner pool(
+      {.workers = workers, .sessionWorkers = 1, .socketDir = socketDir});
+  const cfd::Expected<bool> started = pool.start();
+  if (!started.ok())
+    return cfd::Expected<cfd::dist::DistSweepResult>::failure(
+        started.diagnostics());
+  cfd::dist::DistSweepOptions options;
+  options.source = source;
+  options.axes = designSpace();
+  options.workerSockets = pool.socketPaths();
+  const auto start = std::chrono::steady_clock::now();
+  cfd::Expected<cfd::dist::DistSweepResult> result =
+      cfd::dist::SweepCoordinator(options).run();
+  wallMs = millisSince(start);
+  pool.stopAll();
+  return result;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const int workers = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int baselineWorkers = argc > 2 ? std::atoi(argv[2]) : 1;
+  const std::string source = chainedSource(40);
+
+  cfd::bench::printHeader(
+      "distributed sweep: design points sharded over worker daemons");
+
+  const std::string socketDir =
+      "/tmp/cfd_dist_bench_" + std::to_string(::getpid());
+  std::filesystem::create_directories(socketDir);
+
+  // Reference bytes: the same space swept in-process through the same
+  // canonical report (what `cfdc --sweep --emit=json` prints).
+  std::size_t points = 0;
+  std::string localReport;
+  {
+    cfd::Session session(cfd::SessionOptions{.workers = 1});
+    cfd::SweepRequest request(source);
+    for (const cfd::TuneAxis& axis : designSpace())
+      request.axis(axis.key, axis.values);
+    const cfd::Expected<cfd::SweepResult> swept = session.sweep(request);
+    if (!swept.ok()) {
+      std::cerr << swept.errorText();
+      return 1;
+    }
+    points = swept->rows().size();
+    localReport =
+        cfd::dist::SweepCoordinator::fromSweepResult(*swept).reportText();
+  }
+  std::cout << "  " << points << " design points, " << baselineWorkers
+            << "-worker baseline vs " << workers << " workers\n\n";
+
+  double slowMs = 0;
+  const cfd::Expected<cfd::dist::DistSweepResult> slow =
+      distributedRun(source, baselineWorkers, socketDir, slowMs);
+  if (!slow.ok()) {
+    std::cerr << slow.errorText();
+    return 1;
+  }
+  double fastMs = 0;
+  const cfd::Expected<cfd::dist::DistSweepResult> fast =
+      distributedRun(source, workers, socketDir, fastMs);
+  std::filesystem::remove_all(socketDir);
+  if (!fast.ok()) {
+    std::cerr << fast.errorText();
+    return 1;
+  }
+
+  const double speedup = fastMs > 0.0 ? slowMs / fastMs : 0.0;
+  const bool identical = fast->reportText() == localReport &&
+                         slow->reportText() == localReport;
+
+  std::cout << "  " << baselineWorkers << " worker(s)    "
+            << cfd::padLeft(cfd::formatFixed(slowMs, 1), 9) << " ms\n";
+  std::cout << "  " << workers << " worker(s)    "
+            << cfd::padLeft(cfd::formatFixed(fastMs, 1), 9) << " ms\n";
+  std::cout << "  speedup        "
+            << cfd::padLeft(cfd::formatFixed(speedup, 2), 9) << " x\n";
+  std::cout << "  merged report  "
+            << (identical ? "byte-identical to local sweep"
+                          : "DIVERGED from local sweep")
+            << "\n";
+  std::cout << "  dist: " << fast->stats.chunksDispatched << " chunks ("
+            << fast->stats.chunksRetried << " retried), "
+            << fast->stats.workersLost << " workers lost, "
+            << fast->stats.progressEvents << " progress events\n";
+
+  cfd::json::Value report = cfd::json::Value::object();
+  report.set("schema", "cfd-dist-sweep-v1");
+  report.set("points", static_cast<std::int64_t>(points));
+  report.set("workers", workers);
+  report.set("baseline_workers", baselineWorkers);
+  report.set("cores", static_cast<std::int64_t>(
+                          std::thread::hardware_concurrency()));
+  cfd::json::Value timing = cfd::json::Value::object();
+  timing.set("baseline_ms", slowMs);
+  timing.set("distributed_ms", fastMs);
+  timing.set("speedup", speedup);
+  report.set("timing", std::move(timing));
+  cfd::json::Value identity = cfd::json::Value::object();
+  identity.set("identical_to_local", identical);
+  identity.set("frontier_points",
+               static_cast<std::int64_t>(fast->frontier.size()));
+  report.set("identity", std::move(identity));
+  cfd::json::Value dist = cfd::json::Value::object();
+  dist.set("chunks_dispatched", fast->stats.chunksDispatched);
+  dist.set("chunks_retried", fast->stats.chunksRetried);
+  dist.set("workers_lost", fast->stats.workersLost);
+  dist.set("progress_events", fast->stats.progressEvents);
+  report.set("dist", std::move(dist));
+  cfd::bench::maybeWriteJsonReport(report);
+  cfd::bench::writeBenchReport("dist_sweep", report);
+
+  // Hard gates: full-size space and byte-identity always; the >= 2x
+  // wall-clock scaling gate only where it is physically possible —
+  // the workers are processes, so a runner with fewer cores than
+  // workers cannot scale no matter how good the coordinator is.
+  bool ok = true;
+  if (points != 200) {
+    std::cerr << "design space is " << points << " points, expected 200\n";
+    ok = false;
+  }
+  if (!identical) {
+    std::cerr << "merged report diverged from the local sweep\n";
+    ok = false;
+  }
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores >= static_cast<unsigned>(workers)) {
+    if (workers >= 4 * baselineWorkers && speedup < 2.0) {
+      std::cerr << "speedup " << speedup << "x below the 2x gate ("
+                << cores << " cores)\n";
+      ok = false;
+    }
+  } else {
+    std::cout << "  (speedup gate skipped: " << cores << " core(s) < "
+              << workers << " workers)\n";
+  }
+  return ok ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 #include "support/Error.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 
 namespace cfd {
@@ -118,8 +119,11 @@ ExplorationResult explore(Session& session,
     // arbitrates sweeps, tunes, and async jobs alike.
     pool.parallelFor(
         jobs.size(), workers,
-        [&](std::size_t i) {
+        [&, done = std::make_shared<std::atomic<std::size_t>>(0)](
+            std::size_t i) {
           result.rows[i] = runJob(i, jobs[i], options, cache);
+          if (options.onProgress)
+            options.onProgress(done->fetch_add(1) + 1, jobs.size());
         },
         options.priority, options.jobTag);
   }

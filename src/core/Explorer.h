@@ -21,6 +21,7 @@
 #include "sim/PlatformSim.h"
 #include "support/Cancellation.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -78,6 +79,12 @@ struct ExplorerOptions {
   int priority = WorkerPool::kPriorityNormal;
   /// Diagnostic tag for the pool queue (the submitting job's id, or 0).
   std::uint64_t jobTag = 0;
+  /// Called once per completed row with (done, total) — done counts
+  /// completions in finish order, not row order. Invoked from worker
+  /// threads: the callback must be thread-safe and cheap (it runs
+  /// between rows). Used by the daemon to stream sweep_chunk progress
+  /// events (DESIGN.md §16).
+  std::function<void(std::size_t, std::size_t)> onProgress;
 };
 
 struct ExplorationResult {

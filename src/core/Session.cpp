@@ -213,10 +213,13 @@ Expected<SweepResult> Session::sweepImpl(const SweepRequest& request,
     ++sweepRequests_;
   }
   DiagnosticList diagnostics;
-  if (!request.axes_.empty() && !request.variants_.empty()) {
+  const int explicitModes = (request.axes_.empty() ? 0 : 1) +
+                            (request.variants_.empty() ? 0 : 1) +
+                            (request.points_.empty() ? 0 : 1);
+  if (explicitModes > 1) {
     diagnostics.error({},
-                      "SweepRequest cannot combine axis() with explicit "
-                      "variants()",
+                      "SweepRequest cannot combine axis(), variants(), "
+                      "and points() — pick one",
                       "options");
     countFailure();
     return Expected<SweepResult>::failure(std::move(diagnostics));
@@ -228,7 +231,29 @@ Expected<SweepResult> Session::sweepImpl(const SweepRequest& request,
 
   SweepResult result;
   std::vector<FlowOptions> variants;
-  if (!request.variants_.empty()) {
+  if (!request.points_.empty()) {
+    // Explicit labelled points (the distributed coordinator's chunk
+    // shape): params apply over the base exactly like an axis
+    // assignment, so the compiled FlowOptions match the local cross
+    // product point for point.
+    const FlowOptions base = baseOptionsFor(request.options_);
+    variants.reserve(request.points_.size());
+    result.labels.reserve(request.points_.size());
+    for (const SweepPoint& point : request.points_) {
+      FlowOptions options = base;
+      for (const auto& [key, value] : point.params) {
+        try {
+          applyTuneParam(options, key, value);
+        } catch (const FlowError& e) {
+          diagnostics.error({}, e.what(), "options");
+          countFailure();
+          return Expected<SweepResult>::failure(std::move(diagnostics));
+        }
+      }
+      variants.push_back(std::move(options));
+      result.labels.push_back(point.label);
+    }
+  } else if (!request.variants_.empty()) {
     variants = request.variants_;
     result.labels.reserve(variants.size());
     for (std::size_t i = 0; i < variants.size(); ++i)
@@ -249,6 +274,7 @@ Expected<SweepResult> Session::sweepImpl(const SweepRequest& request,
   explorerOptions.cancelToken = cancel;
   explorerOptions.priority = static_cast<int>(priority);
   explorerOptions.jobTag = jobId;
+  explorerOptions.onProgress = request.onProgress_;
   try {
     result.exploration =
         explore(*this, request.source_, variants, explorerOptions);

@@ -1,0 +1,189 @@
+#include "dist/WorkerPoolSpawner.h"
+
+#include "core/Session.h"
+#include "serve/Server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace cfd::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The child's SIGTERM target: one server per worker process.
+serve::Server* gChildServer = nullptr;
+
+extern "C" void onChildStopSignal(int) {
+  if (gChildServer != nullptr)
+    gChildServer->requestStop(); // async-signal-safe by contract
+}
+
+/// True when something accepts a connection on `socketPath`.
+bool probeSocket(const std::string& socketPath) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (socketPath.size() >= sizeof(address.sun_path))
+    return false;
+  std::memcpy(address.sun_path, socketPath.c_str(), socketPath.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    return false;
+  const bool alive =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) == 0;
+  ::close(fd);
+  return alive;
+}
+
+} // namespace
+
+WorkerPoolSpawner::WorkerPoolSpawner(SpawnOptions options)
+    : options_(std::move(options)) {}
+
+WorkerPoolSpawner::~WorkerPoolSpawner() { stopAll(); }
+
+void WorkerPoolSpawner::serveChild(const std::string& socketPath) {
+  // A fresh session per worker: the whole point of the distributed
+  // sweep is N independent processes with N worker pools. Defaults
+  // only (no cache dir) so every worker derives options identically.
+  Session session(SessionOptions{.workers = options_.sessionWorkers});
+  serve::Server server(session, {.socketPath = socketPath});
+  if (!server.start())
+    ::_exit(1);
+  gChildServer = &server;
+  std::signal(SIGTERM, onChildStopSignal);
+  std::signal(SIGINT, onChildStopSignal);
+  server.join();
+  gChildServer = nullptr;
+  // _exit, not exit: the child shares the parent's atexit list and
+  // stdio buffers, and must not flush or tear down what it forked.
+  ::_exit(0);
+}
+
+pid_t WorkerPoolSpawner::spawnOne(const std::string& socketPath) {
+  const pid_t pid = ::fork();
+  if (pid != 0)
+    return pid; // parent (or fork failure, pid < 0)
+  // Child. Workers are quiet: the coordinator owns the terminal.
+  const int devNull = ::open("/dev/null", O_WRONLY);
+  if (devNull >= 0) {
+    ::dup2(devNull, STDOUT_FILENO);
+    ::dup2(devNull, STDERR_FILENO);
+    ::close(devNull);
+  }
+  if (!options_.cfdcPath.empty()) {
+    const std::string jobs =
+        "--jobs=" + std::to_string(options_.sessionWorkers);
+    const std::string socket = "--socket=" + socketPath;
+    ::execl(options_.cfdcPath.c_str(), options_.cfdcPath.c_str(),
+            "--serve", socket.c_str(), jobs.c_str(),
+            static_cast<char*>(nullptr));
+    ::_exit(127); // exec failed
+  }
+  serveChild(socketPath);
+}
+
+Expected<bool> WorkerPoolSpawner::start() {
+  if (!pids_.empty())
+    return Expected<bool>::failure("workers already started", "dist");
+  if (options_.workers <= 0)
+    return Expected<bool>::failure("worker count must be positive", "dist");
+
+  for (int i = 0; i < options_.workers; ++i) {
+    const std::string socketPath =
+        options_.socketDir + "/worker" + std::to_string(i) + ".sock";
+    ::unlink(socketPath.c_str());
+    const pid_t pid = spawnOne(socketPath);
+    if (pid < 0) {
+      const std::string reason = std::strerror(errno);
+      stopAll();
+      return Expected<bool>::failure(
+          std::string("cannot fork worker: ") + reason, "dist");
+    }
+    sockets_.push_back(socketPath);
+    pids_.push_back(pid);
+  }
+
+  // Readiness: every worker must accept a probe connection, so run()
+  // never races the children's bind/listen.
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < sockets_.size(); ++i) {
+    for (;;) {
+      if (probeSocket(sockets_[i]))
+        break;
+      // A worker that died before binding will never become ready.
+      int status = 0;
+      if (::waitpid(pids_[i], &status, WNOHANG) == pids_[i]) {
+        pids_[i] = -1;
+        stopAll();
+        return Expected<bool>::failure(
+            "worker " + std::to_string(i) + " exited before serving on '" +
+                sockets_[i] + "'",
+            "dist");
+      }
+      const double waited = std::chrono::duration<double, std::milli>(
+                                Clock::now() - start)
+                                .count();
+      if (waited > options_.readyTimeoutMillis) {
+        stopAll();
+        return Expected<bool>::failure(
+            "worker " + std::to_string(i) + " did not serve on '" +
+                sockets_[i] + "' within " +
+                std::to_string(static_cast<int>(options_.readyTimeoutMillis)) +
+                " ms",
+            "dist");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  return true;
+}
+
+void WorkerPoolSpawner::kill(std::size_t worker, int signal) {
+  if (worker < pids_.size() && pids_[worker] > 0)
+    ::kill(pids_[worker], signal);
+}
+
+void WorkerPoolSpawner::stopAll() {
+  for (const pid_t pid : pids_)
+    if (pid > 0)
+      ::kill(pid, SIGTERM);
+  // Graceful drain first; SIGKILL whatever ignores it. The daemons
+  // answer SIGTERM by draining in-flight responses, so give them a
+  // moment.
+  const auto deadline = Clock::now() + std::chrono::seconds(10);
+  for (pid_t& pid : pids_) {
+    if (pid <= 0)
+      continue;
+    for (;;) {
+      int status = 0;
+      const pid_t reaped = ::waitpid(pid, &status, WNOHANG);
+      if (reaped == pid || (reaped < 0 && errno == ECHILD))
+        break;
+      if (Clock::now() >= deadline) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, &status, 0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    pid = -1;
+  }
+  pids_.clear();
+  for (const std::string& socketPath : sockets_)
+    ::unlink(socketPath.c_str());
+  sockets_.clear();
+}
+
+} // namespace cfd::dist

@@ -1,0 +1,87 @@
+// cfd::dist::WorkerPoolSpawner — local worker daemons for distributed
+// sweeps (DESIGN.md §16).
+//
+// Forks N worker processes, each serving the compile daemon protocol
+// on its own Unix socket, and tears them down again. Two modes:
+//
+//  * In-process server (default): the child builds its own
+//    cfd::Session and serve::Server and never execs. Used by tests and
+//    benches — no dependency on a cfdc binary on disk, and the child
+//    is a real process whose SIGKILL mid-chunk exercises the
+//    coordinator's failure path for real.
+//  * exec mode (cfdcPath set): the child execs `cfdc --serve
+//    --socket=... --jobs=N`, exactly what `cfdc --distribute` wants —
+//    workers running the released CLI entry point.
+//
+// fork(2) safety: start() must run while the calling process is still
+// single-threaded (or at least before Session/Server threads exist) —
+// forking a multi-threaded process duplicates only the calling thread,
+// leaving any mutex held by another thread locked forever in the
+// child. The coordinator's threads come after start(), so the natural
+// call order is safe; don't spawn after creating Sessions.
+#pragma once
+
+#include "support/Expected.h"
+
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace cfd::dist {
+
+struct SpawnOptions {
+  /// Worker process count.
+  int workers = 2;
+  /// Session worker threads per worker process.
+  int sessionWorkers = 1;
+  /// Directory for the workers' socket files (must exist; keep it
+  /// short — sun_path is ~100 bytes).
+  std::string socketDir;
+  /// When non-empty, exec this cfdc binary with --serve instead of
+  /// running an in-process server in the forked child.
+  std::string cfdcPath;
+  /// How long start() waits for every worker to accept a probe
+  /// connection.
+  double readyTimeoutMillis = 15000;
+};
+
+class WorkerPoolSpawner {
+public:
+  explicit WorkerPoolSpawner(SpawnOptions options);
+  /// stopAll().
+  ~WorkerPoolSpawner();
+
+  WorkerPoolSpawner(const WorkerPoolSpawner&) = delete;
+  WorkerPoolSpawner& operator=(const WorkerPoolSpawner&) = delete;
+
+  /// Forks the workers and blocks until each one accepts a connection
+  /// on its socket (so a returned success means the coordinator can
+  /// connect immediately). On failure the already-spawned workers are
+  /// stopped again.
+  Expected<bool> start();
+
+  /// Socket path per worker, valid after start().
+  const std::vector<std::string>& socketPaths() const { return sockets_; }
+
+  pid_t pid(std::size_t worker) const { return pids_[worker]; }
+
+  /// Sends `signal` to one worker — SIGKILL is the fault-injection
+  /// hammer the dist tests swing.
+  void kill(std::size_t worker, int signal);
+
+  /// SIGTERM (graceful drain), bounded wait, then SIGKILL stragglers;
+  /// reaps every child and unlinks leftover socket files. Idempotent.
+  void stopAll();
+
+private:
+  pid_t spawnOne(const std::string& socketPath);
+  /// The forked child's body in in-process mode; never returns.
+  [[noreturn]] void serveChild(const std::string& socketPath);
+
+  SpawnOptions options_;
+  std::vector<std::string> sockets_;
+  std::vector<pid_t> pids_;
+};
+
+} // namespace cfd::dist

@@ -1,5 +1,7 @@
 #include "serve/Client.h"
 
+#include "serve/Io.h"
+
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -55,22 +57,23 @@ bool Client::send(const Request& request) {
   if (fd_ < 0)
     return false;
   const std::string line = request.encode() + "\n";
-  std::size_t sent = 0;
-  while (sent < line.size()) {
-    const ssize_t n = ::send(fd_, line.data() + sent, line.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0)
-      return false;
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+  return sendAll(fd_, line.data(), line.size());
 }
 
 bool Client::readLine(std::string& line) {
   std::size_t newline;
   while ((newline = buffer_.find('\n')) == std::string::npos) {
     char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    const ssize_t n = recvSome(fd_, chunk, sizeof(chunk));
+    if (n == 0 && !buffer_.empty()) {
+      // Orderly EOF with an unterminated final message: a daemon that
+      // wrote its last response and closed before flushing the '\n'
+      // (or crashed between the two writes). Hand the leftover to the
+      // parser instead of losing a complete answer.
+      line = std::move(buffer_);
+      buffer_.clear();
+      return true;
+    }
     if (n <= 0)
       return false;
     buffer_.append(chunk, static_cast<std::size_t>(n));
@@ -99,12 +102,29 @@ Expected<Response> Client::receive(std::int64_t id) {
     Expected<Response> parsed = Response::parse(line);
     if (!parsed)
       return parsed; // a daemon we cannot understand is fatal
+    if (!parsed->event.empty())
+      continue; // progress events never resolve a receive()
     // id 0 marks a protocol error for a request whose id the daemon
     // could not read — it can only belong to the request we just sent.
     if (parsed->id == id || parsed->id == 0)
       return parsed;
     stash_.push_back(std::move(*parsed));
   }
+}
+
+Expected<Response> Client::receiveAny() {
+  if (fd_ < 0)
+    return Expected<Response>::failure("client is not connected", "serve");
+  if (!stash_.empty()) {
+    Response response = std::move(stash_.front());
+    stash_.erase(stash_.begin());
+    return response;
+  }
+  std::string line;
+  if (!readLine(line))
+    return Expected<Response>::failure(
+        "connection closed by the daemon", "serve");
+  return Response::parse(line);
 }
 
 Expected<Response> Client::call(Request request) {

@@ -61,8 +61,29 @@ public:
   /// Fire-and-forget send; false when the connection is down.
   bool send(const Request& request);
 
-  /// Blocks until the response with `id` arrives (stashing others).
+  /// Blocks until the final response with `id` arrives (stashing other
+  /// final responses). Streamed events (Response::event) are dropped —
+  /// use receiveAny() when progress matters.
   Expected<Response> receive(std::int64_t id);
+
+  /// Blocks until any message arrives — a stashed final response, a
+  /// fresh final response, or a streamed event (Response::event set).
+  /// The dist coordinator pairs this with fd() + poll(2) to watch a
+  /// worker with a deadline (DESIGN.md §16).
+  Expected<Response> receiveAny();
+
+  /// The connection's file descriptor (-1 when closed), for poll(2).
+  /// Note the read path is buffered: check hasBufferedLine() before
+  /// blocking in poll, or a complete message already received can sit
+  /// unread in buffer_/stash_ while poll waits.
+  int fd() const { return fd_; }
+
+  /// True when a stashed response or a full buffered line is already
+  /// available, i.e. receiveAny() would return without touching the
+  /// socket.
+  bool hasBufferedLine() const {
+    return !stash_.empty() || buffer_.find('\n') != std::string::npos;
+  }
 
   /// Half-closes the write side: the daemon sees EOF — exactly what a
   /// crashed client looks like — while this end can still drain
@@ -72,7 +93,9 @@ public:
   void closeConnection();
 
 private:
-  /// Reads one full line from the socket; false on EOF/error.
+  /// Reads one full line from the socket; false on EOF/error. A final
+  /// message the peer sent without a trailing '\n' before closing is
+  /// still surfaced as a line (once) rather than silently dropped.
   bool readLine(std::string& line);
 
   int fd_ = -1;

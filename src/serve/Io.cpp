@@ -1,0 +1,33 @@
+#include "serve/Io.h"
+
+#include <cerrno>
+
+#include <sys/socket.h>
+
+namespace cfd::serve {
+
+bool sendAll(int fd, const void* data, std::size_t size) {
+  const char* bytes = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd, bytes + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR)
+      continue;
+    if (n <= 0)
+      return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+ssize_t recvSome(int fd, void* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, data, size, 0);
+    if (n < 0 && errno == EINTR)
+      continue;
+    return n;
+  }
+}
+
+} // namespace cfd::serve

@@ -1,0 +1,261 @@
+// Tests for the distributed sweep coordinator (DESIGN.md §16): the
+// byte-identity contract against a single-process sweep, fault
+// injection (a worker SIGKILLed mid-chunk, a stopped straggler
+// demoted by the inactivity deadline), failure modes (no reachable
+// worker, every worker lost, bad params failing fast), and an
+// EINTR-storm over an 8-client flood that exercises the retrying
+// serve I/O loops under a ~1 ms interval timer. The TSan CI job runs
+// this suite alongside test_serve and test_async.
+#include "dist/Coordinator.h"
+#include "dist/WorkerPoolSpawner.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace cfd::dist {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Per-test scratch dir with short socket paths (sun_path is ~107
+/// bytes, so no test-name-derived paths).
+class DistTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    root_ = (fs::temp_directory_path() /
+             ("cfd_dist_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter_++)))
+                .string();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  /// The shared design space: 3 x 2 = 6 points, several chunks under
+  /// any worker count, and fast to compile.
+  static std::vector<TuneAxis> axes() {
+    return {{"unroll", {"1", "2", "4"}}, {"m", {"2", "4"}}};
+  }
+
+  /// A single-process sweep over the same space, rendered through the
+  /// same canonical report — the reference bytes.
+  static std::string localReport(const std::string& source) {
+    Session session(SessionOptions{.workers = 2});
+    SweepRequest request(source);
+    for (const TuneAxis& axis : axes())
+      request.axis(axis.key, axis.values);
+    const Expected<SweepResult> swept = session.sweep(request);
+    EXPECT_TRUE(swept.ok()) << swept.errorText();
+    return SweepCoordinator::fromSweepResult(*swept).reportText();
+  }
+
+  DistSweepOptions optionsFor(const WorkerPoolSpawner& pool,
+                              const std::string& source) {
+    DistSweepOptions options;
+    options.source = source;
+    options.axes = axes();
+    options.workerSockets = pool.socketPaths();
+    return options;
+  }
+
+  std::string root_;
+  static inline std::atomic<int> counter_{0};
+};
+
+TEST_F(DistTest, ShardedSweepIsByteIdenticalToLocal) {
+  const std::string source = test::kInverseHelmholtz;
+  WorkerPoolSpawner pool({.workers = 2, .socketDir = root_});
+  const Expected<bool> started = pool.start();
+  ASSERT_TRUE(started.ok()) << started.errorText();
+
+  DistSweepOptions options = optionsFor(pool, source);
+  options.chunkSize = 2; // 3 chunks over 2 workers: real stealing
+  std::atomic<std::size_t> lastDone{0};
+  options.onProgress = [&](std::size_t done, std::size_t total) {
+    EXPECT_EQ(total, 6u);
+    lastDone = done;
+  };
+  const Expected<DistSweepResult> result =
+      SweepCoordinator(options).run();
+  ASSERT_TRUE(result.ok()) << result.errorText();
+
+  // The whole point: merged bytes == single-process bytes.
+  EXPECT_EQ(result->reportText(), localReport(source));
+  EXPECT_EQ(lastDone.load(), 6u);
+  EXPECT_EQ(result->stats.workersConnected, 2);
+  EXPECT_EQ(result->stats.workersLost, 0);
+  EXPECT_EQ(result->stats.chunksDispatched, 3);
+  EXPECT_GE(result->stats.progressEvents, 6); // >= one per point
+  EXPECT_FALSE(result->frontier.empty());
+}
+
+TEST_F(DistTest, SigkilledWorkerMidChunkStillCompletesIdentically) {
+  const std::string source = test::kInverseHelmholtz;
+  WorkerPoolSpawner pool({.workers = 3, .socketDir = root_});
+  ASSERT_TRUE(pool.start().ok());
+
+  DistSweepOptions options = optionsFor(pool, source);
+  options.chunkSize = 1; // every point its own chunk: kill lands mid-sweep
+  std::once_flag killed;
+  options.onProgress = [&](std::size_t, std::size_t) {
+    // First sign of life -> SIGKILL a worker. Its in-flight chunk (or
+    // its next one) dies with it and must be re-run elsewhere.
+    std::call_once(killed, [&] { pool.kill(0, SIGKILL); });
+  };
+  const Expected<DistSweepResult> result =
+      SweepCoordinator(options).run();
+  ASSERT_TRUE(result.ok()) << result.errorText();
+
+  // Full point count, identical frontier and bytes, and the loss is
+  // visible in the stats.
+  EXPECT_EQ(result->rows.size(), 6u);
+  EXPECT_EQ(result->reportText(), localReport(source));
+  EXPECT_GE(result->stats.workersLost, 1);
+}
+
+TEST_F(DistTest, StoppedStragglerIsDemotedAndSweepCompletes) {
+  const std::string source = test::kInverseHelmholtz;
+  WorkerPoolSpawner pool({.workers = 2, .socketDir = root_});
+  ASSERT_TRUE(pool.start().ok());
+  // SIGSTOP one worker: it keeps its listening socket (connects
+  // succeed, sends buffer) but never answers — the canonical
+  // straggler. The inactivity deadline must cut it off and move its
+  // chunk to the live worker.
+  pool.kill(0, SIGSTOP);
+
+  DistSweepOptions options = optionsFor(pool, source);
+  options.chunkDeadlineMillis = 400;
+  const Expected<DistSweepResult> result =
+      SweepCoordinator(options).run();
+  // SIGKILL the stopped worker before stopAll so teardown never waits
+  // out the graceful-drain window on a process that cannot drain.
+  pool.kill(0, SIGKILL);
+  ASSERT_TRUE(result.ok()) << result.errorText();
+
+  EXPECT_EQ(result->reportText(), localReport(source));
+  EXPECT_GE(result->stats.workersDemoted, 1);
+  EXPECT_GE(result->stats.chunksRetried, 1);
+}
+
+TEST_F(DistTest, AllWorkersLostFailsWithDiagnostics) {
+  WorkerPoolSpawner pool({.workers = 1, .socketDir = root_});
+  ASSERT_TRUE(pool.start().ok());
+
+  DistSweepOptions options = optionsFor(pool, test::kInverseHelmholtz);
+  std::once_flag killed;
+  options.onProgress = [&](std::size_t, std::size_t) {
+    std::call_once(killed, [&] { pool.kill(0, SIGKILL); });
+  };
+  const Expected<DistSweepResult> result =
+      SweepCoordinator(options).run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.errorText().find("all workers were lost"),
+            std::string::npos)
+      << result.errorText();
+}
+
+TEST_F(DistTest, UnreachableWorkersFailFast) {
+  DistSweepOptions options;
+  options.source = test::kInverseHelmholtz;
+  options.axes = axes();
+  options.workerSockets = {root_ + "/nobody.sock"};
+  const Expected<DistSweepResult> result =
+      SweepCoordinator(options).run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.errorText().find("no worker is reachable"),
+            std::string::npos)
+      << result.errorText();
+}
+
+TEST_F(DistTest, BadAxisValuesFailBeforeAnySocketIsTouched) {
+  DistSweepOptions options;
+  options.source = test::kInverseHelmholtz;
+  options.axes = {{"warp", {"1"}}};
+  // Deliberately no daemon behind this path: validation must fail
+  // before connecting, so the bad key is one error, not N refusals.
+  options.workerSockets = {root_ + "/nobody.sock"};
+  const Expected<DistSweepResult> result =
+      SweepCoordinator(options).run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.errorText().find("unknown parameter 'warp'"),
+            std::string::npos)
+      << result.errorText();
+}
+
+// ---------------------------------------------------------------------
+// EINTR storm: a ~1 ms interval timer with a no-op, no-SA_RESTART
+// SIGALRM handler makes every blocking send/recv in the process fail
+// with EINTR constantly — on the in-process server's threads and the
+// flooding clients alike. The retrying I/O loops (serve/Io.h) must
+// make all of it invisible.
+// ---------------------------------------------------------------------
+
+extern "C" void onAlarmNoop(int) {}
+
+TEST_F(DistTest, EintrStormDoesNotDropAnyFloodResponses) {
+  struct sigaction action{};
+  action.sa_handler = onAlarmNoop; // deliberately NOT SA_RESTART
+  ASSERT_EQ(::sigaction(SIGALRM, &action, nullptr), 0);
+  itimerval storm{};
+  storm.it_interval.tv_usec = 1000;
+  storm.it_value.tv_usec = 1000;
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &storm, nullptr), 0);
+
+  {
+    Session session(SessionOptions{.workers = 2});
+    serve::Server server(session, {.socketPath = root_ + "/d.sock"});
+    ASSERT_TRUE(server.start().ok());
+
+    constexpr int kClients = 8;
+    constexpr int kCallsPerClient = 5;
+    std::atomic<int> okCount{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kClients; ++i)
+      threads.emplace_back([&, i] {
+        Expected<serve::Client> client =
+            serve::Client::connect(root_ + "/d.sock");
+        ASSERT_TRUE(client.ok()) << client.errorText();
+        for (int call = 0; call < kCallsPerClient; ++call) {
+          serve::Request request;
+          request.kind = serve::RequestKind::Compile;
+          request.source = test::kInverseHelmholtz;
+          request.params = {{"unroll", std::to_string(1 << (i % 4))}};
+          const Expected<serve::Response> response =
+              client->call(std::move(request));
+          ASSERT_TRUE(response.ok()) << response.errorText();
+          ASSERT_TRUE(response->ok) << response->encode();
+          ++okCount;
+        }
+      });
+    for (std::thread& thread : threads)
+      thread.join();
+    EXPECT_EQ(okCount.load(), kClients * kCallsPerClient);
+
+    server.requestStop();
+    server.join();
+    const serve::Server::Stats stats = server.stats();
+    EXPECT_EQ(stats.requestsReceived, stats.responsesSent);
+    EXPECT_EQ(stats.requestsReceived, kClients * kCallsPerClient);
+    EXPECT_EQ(stats.protocolErrors, 0);
+  }
+
+  itimerval off{};
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &off, nullptr), 0);
+  ::signal(SIGALRM, SIG_DFL);
+}
+
+} // namespace
+} // namespace cfd::dist

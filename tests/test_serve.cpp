@@ -85,6 +85,46 @@ TEST(ServeProtocolGolden, SweepRequestWire) {
             R"({"key":"opt","values":["0","1"]}]})");
 }
 
+TEST(ServeProtocolGolden, SweepChunkRequestWire) {
+  Request request;
+  request.kind = RequestKind::SweepChunk;
+  request.id = 11;
+  request.source = "v = u\n";
+  request.params = {{"opt", "2"}};
+  request.points = {{4, "unroll=1 m=2", {{"unroll", "1"}, {"m", "2"}}},
+                    {5, "unroll=1 m=4", {{"unroll", "1"}, {"m", "4"}}}};
+  EXPECT_EQ(
+      request.encode(),
+      R"({"cfd_serve":1,"id":11,"kind":"sweep_chunk","source":"v = u\n",)"
+      R"("params":{"opt":"2"},)"
+      R"("points":[{"index":4,"label":"unroll=1 m=2",)"
+      R"("params":{"unroll":"1","m":"2"}},)"
+      R"({"index":5,"label":"unroll=1 m=4",)"
+      R"("params":{"unroll":"1","m":"4"}}]})");
+  // And it round-trips: chunk points survive parse exactly.
+  const Expected<Request> parsed = Request::parse(request.encode());
+  ASSERT_TRUE(parsed.ok()) << parsed.errorText();
+  EXPECT_EQ(*parsed, request);
+}
+
+TEST(ServeProtocolGolden, ProgressEventWire) {
+  Response event;
+  event.id = 11;
+  event.kind = RequestKind::SweepChunk;
+  event.ok = true;
+  event.event = "progress";
+  event.result = json::Value::object();
+  event.result.set("done", std::int64_t{3});
+  event.result.set("total", std::int64_t{8});
+  EXPECT_EQ(event.encode(),
+            R"({"cfd_serve":1,"id":11,"kind":"sweep_chunk","ok":true,)"
+            R"("event":"progress","result":{"done":3,"total":8}})");
+  const Expected<Response> parsed = Response::parse(event.encode());
+  ASSERT_TRUE(parsed.ok()) << parsed.errorText();
+  EXPECT_EQ(parsed->event, "progress");
+  EXPECT_EQ(parsed->result.at("done").asInt(), 3);
+}
+
 TEST(ServeProtocolGolden, TuneRequestWireSerializesNonDefaultsOnly) {
   Request request;
   request.kind = RequestKind::Tune;
@@ -205,13 +245,16 @@ TEST(ServeProtocolGolden, MalformedAndMismatchedRequestsPinnedErrors) {
             "speaks v1");
   EXPECT_EQ(parseError(R"({"cfd_serve":1,"id":1,"kind":"frobnicate"})"),
             "unknown request kind 'frobnicate' (valid: compile, sweep, "
-            "tune, status, cancel, shutdown)");
+            "tune, sweep_chunk, status, cancel, shutdown)");
   EXPECT_EQ(parseError(R"({"cfd_serve":1,"kind":"status"})"),
             "request needs a positive 'id' to address the response");
   EXPECT_EQ(parseError(R"({"cfd_serve":1,"id":1,"kind":"compile"})"),
             "'compile' request has no 'source'");
   EXPECT_EQ(parseError(R"({"cfd_serve":1,"id":1,"kind":"cancel"})"),
             "'cancel' request has no 'target' request id");
+  EXPECT_EQ(parseError(R"({"cfd_serve":1,"id":1,"kind":"sweep_chunk",)"
+                       R"("source":"v = u"})"),
+            "'sweep_chunk' request has no 'points'");
   EXPECT_EQ(parseError(R"({"cfd_serve":1,"id":1,"kind":"compile",)"
                        R"("source":"v = u","priority":"urgent"})"),
             "unknown priority 'urgent' (valid: low, normal, high)");
@@ -491,6 +534,100 @@ TEST_F(ServeTest, MalformedWireLineGetsAnIdZeroErrorResponse) {
   server.requestStop();
   server.join();
   EXPECT_EQ(server.stats().protocolErrors, 1);
+}
+
+TEST_F(ServeTest, ReadLineSurfacesUnterminatedTailAtEof) {
+  // A daemon that crashes (or a peer that forgets the trailing
+  // newline) after writing a complete response must not lose that
+  // response: readLine hands the EOF-terminated tail out as a line.
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, socketPath_.c_str(),
+              socketPath_.size() + 1);
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&address),
+                   sizeof(address)),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+
+  std::thread peer([&] {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    ASSERT_GE(fd, 0);
+    // A valid response with NO trailing '\n', then an orderly close.
+    Response response;
+    response.id = 1;
+    response.kind = RequestKind::Status;
+    response.ok = true;
+    response.result = json::Value::object();
+    const std::string wire = response.encode();
+    ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(wire.size()));
+    ::close(fd);
+  });
+
+  Expected<Client> client = Client::connect(socketPath_);
+  ASSERT_TRUE(client.ok()) << client.errorText();
+  const Expected<Response> received = client->receive(1);
+  ASSERT_TRUE(received.ok()) << received.errorText();
+  EXPECT_EQ(received->id, 1);
+  EXPECT_TRUE(received->ok);
+  // The tail is surfaced exactly once; the next read reports the EOF.
+  const Expected<Response> eof = client->receiveAny();
+  EXPECT_FALSE(eof.ok());
+  peer.join();
+  ::close(listener);
+}
+
+TEST_F(ServeTest, SweepChunkStreamsProgressAndMatchesLocalRows) {
+  Session session(SessionOptions{.workers = 2});
+  Server server(session, {.socketPath = socketPath_});
+  ASSERT_TRUE(server.start().ok());
+  Expected<Client> client = Client::connect(socketPath_);
+  ASSERT_TRUE(client.ok()) << client.errorText();
+
+  Request request;
+  request.kind = RequestKind::SweepChunk;
+  request.id = client->nextId();
+  request.source = test::kInverseHelmholtz;
+  request.points = {{0, "unroll=1", {{"unroll", "1"}}},
+                    {1, "unroll=2", {{"unroll", "2"}}},
+                    {2, "unroll=4", {{"unroll", "4"}}}};
+  ASSERT_TRUE(client->send(request));
+
+  // Events stream before the final response on the same connection;
+  // the final result rows arrive in point order with only the
+  // deterministic fields.
+  int progressEvents = 0;
+  Expected<Response> final = Expected<Response>::failure("none", "test");
+  for (;;) {
+    Expected<Response> message = client->receiveAny();
+    ASSERT_TRUE(message.ok()) << message.errorText();
+    if (message->event == "progress") {
+      ++progressEvents;
+      EXPECT_EQ(message->result.at("total").asInt(), 3);
+      continue;
+    }
+    final = std::move(message);
+    break;
+  }
+  ASSERT_TRUE(final->ok) << final->encode();
+  EXPECT_EQ(progressEvents, 3); // one per design point
+  const json::Value& rows = final->result.at("rows");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows.at(0).at("label").asString(), "unroll=1");
+  EXPECT_EQ(rows.at(1).at("index").asInt(), 1);
+  EXPECT_TRUE(rows.at(2).at("feasible").asBool());
+  EXPECT_TRUE(rows.at(0).contains("kernel_us"));
+  EXPECT_FALSE(rows.at(0).contains("cache_hit")); // run-dependent: banned
+
+  // Events are not responses: the one-response-per-request invariant
+  // holds, with events counted separately.
+  server.requestStop();
+  server.join();
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.requestsReceived, stats.responsesSent);
+  EXPECT_EQ(stats.progressEvents, 3);
 }
 
 TEST_F(ServeTest, StaleSocketIsReplacedButALiveDaemonIsNot) {

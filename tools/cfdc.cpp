@@ -40,6 +40,8 @@
 //
 // Run `cfdc --help` for the full flag reference.
 #include "core/Session.h"
+#include "dist/Coordinator.h"
+#include "dist/WorkerPoolSpawner.h"
 #include "serve/Client.h"
 #include "serve/Server.h"
 #include "support/Error.h"
@@ -50,11 +52,15 @@
 #include <chrono>
 #include <csignal>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 namespace {
 
@@ -111,6 +117,10 @@ struct CliOptions {
   bool statusRequest = false;
   bool shutdownRequest = false;
   std::string priority;
+  // Distributed sweeps (DESIGN.md §16).
+  bool distributeExplicit = false;
+  int distribute = 0;
+  std::vector<std::string> workerSockets;
   /// Option flags re-recorded as tune params (unroll, m, k, ...), so
   /// --connect can forward them over the wire instead of resolving
   /// them locally.
@@ -237,9 +247,27 @@ Compile daemon (DESIGN.md §15):
                            (requires --connect; default normal);
                            --deadline-ms also applies to --connect
 
+Distributed sweeps (DESIGN.md §16):
+  --distribute=N           shard the --sweep cross product across N
+                           freshly spawned local worker daemons (this
+                           binary with --serve) and merge the results —
+                           byte-identical to the single-process sweep.
+                           --jobs=N sets each worker's session threads
+                           (default 1); --deadline-ms becomes the
+                           per-chunk straggler deadline
+  --workers=S1,S2,...      like --distribute, but dispatch to already
+                           running daemons on these sockets instead of
+                           spawning any (mutually exclusive with
+                           --distribute; worker sessions must run
+                           default options for identical results)
+
 With --tune, --emit=json prints the JSON report (DESIGN.md §8) on
 stdout and -o writes it to a file; --simulate=Ne makes the latency
-objective include AXI transfer costs.
+objective include AXI transfer costs. With --sweep, --emit=json prints
+the canonical sweep report ({schema, points, rows, frontier}) instead
+of the table — the byte-identity surface distributed runs are diffed
+against — and excludes --simulate/--explain-cache/--async-jobs, whose
+columns the report deliberately omits.
 
 Exit codes: 0 success; 1 I/O or validation failure; 2 usage error;
 3 compile diagnostics (malformed DSL, infeasible constraints; also a
@@ -256,7 +284,16 @@ bool consumeValue(const std::string& arg, const std::string& prefix,
   return true;
 }
 
+bool isDigit(char c) { return c >= '0' && c <= '9'; }
+
 int parseInt(const std::string& value, const std::string& flag) {
+  // std::stoi alone accepts leading whitespace and '+' (--jobs=" 4",
+  // --jobs=+4), so usage errors would drift: only an optional '-'
+  // followed by digits is an integer here.
+  const bool negative = !value.empty() && value[0] == '-';
+  const std::string digits = negative ? value.substr(1) : value;
+  if (digits.empty() || !isDigit(digits[0]))
+    usage(flag + " expects an integer (got '" + value + "')");
   try {
     std::size_t consumed = 0;
     const int parsed = std::stoi(value, &consumed);
@@ -276,6 +313,15 @@ int parseNonNegativeInt(const std::string& value, const std::string& flag) {
 }
 
 double parseFraction(const std::string& value, const std::string& flag) {
+  // Same strictness as parseInt: std::stod's whitespace/'+'/hex/inf
+  // forms are not fractions. A fraction starts with a digit or with
+  // '.' followed by a digit.
+  const bool digitStart =
+      !value.empty() &&
+      (isDigit(value[0]) ||
+       (value[0] == '.' && value.size() > 1 && isDigit(value[1])));
+  if (!digitStart)
+    usage(flag + " expects a fraction in (0, 1] (got '" + value + "')");
   try {
     std::size_t consumed = 0;
     const double parsed = std::stod(value, &consumed);
@@ -455,6 +501,16 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
       if (value != "low" && value != "normal" && value != "high")
         usage("--priority expects low|normal|high (got '" + value + "')");
       options.priority = value;
+    } else if (consumeValue(arg, "--distribute=", value)) {
+      options.distribute = parseInt(value, "--distribute");
+      if (options.distribute <= 0)
+        usage("--distribute expects a positive worker count (got '" + value +
+              "')");
+      options.distributeExplicit = true;
+    } else if (consumeValue(arg, "--workers=", value)) {
+      options.workerSockets = splitCsv(value);
+      if (options.workerSockets.empty())
+        usage("--workers expects a comma-separated socket list");
     } else if (arg == "--validate") {
       options.validate = true;
     } else if (consumeValue(arg, "--diagnostics=", value)) {
@@ -501,6 +557,9 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
         !options.priority.empty())
       usage("--status/--shutdown/--priority are client flags and require "
             "--connect=PATH");
+    if (options.distributeExplicit || !options.workerSockets.empty())
+      usage("--serve cannot be combined with --distribute/--workers (a "
+            "daemon is a worker; the coordinator is a separate process)");
     return options;
   }
   if (!options.socketPath.empty())
@@ -533,7 +592,11 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
       usage("--validate/--simulate/--print-ir-* need the flow in-process "
             "and cannot be combined with --connect");
     if (options.emitExplicit && options.emit == "json")
-      usage("--emit=json requires --tune");
+      usage("--emit=json requires --tune or --sweep");
+    if (options.distributeExplicit || !options.workerSockets.empty())
+      usage("--connect submits one compile to one daemon; distributed "
+            "sweeps coordinate their own connections (--distribute or "
+            "--workers without --connect)");
     return options;
   }
   if (options.statusRequest)
@@ -546,6 +609,39 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
 
   if (options.inputPath.empty())
     usage("no input file");
+
+  // Distributed sweeps (DESIGN.md §16): one coordinator, N worker
+  // daemons. Every flag that configures the in-process session or its
+  // output columns is meaningless here — refuse, never ignore.
+  const bool distMode =
+      options.distributeExplicit || !options.workerSockets.empty();
+  if (distMode) {
+    if (options.distributeExplicit && !options.workerSockets.empty())
+      usage("--distribute and --workers are mutually exclusive (spawn "
+            "fresh workers or use running ones, not both)");
+    if (options.sweeps.empty())
+      usage("--distribute/--workers require --sweep axes (they shard a "
+            "sweep's design points)");
+    if (options.tune)
+      usage("--distribute/--workers cannot be combined with --tune "
+            "(only sweeps shard into independent points)");
+    if (options.asyncJobsExplicit)
+      usage("--distribute/--workers schedule across processes; "
+            "--async-jobs schedules inside one session — pick one");
+    if (options.validate || options.simulateElements > 0 ||
+        options.explainCache)
+      usage("--validate/--simulate/--explain-cache need the flows "
+            "in-process and cannot be combined with --distribute/--workers");
+    if (!options.cacheDir.empty() || options.stageCacheMbExplicit)
+      usage("--cache-dir/--stage-cache-mb configure a worker's session; "
+            "set them on the daemons (--serve), not on the coordinator");
+    if (options.jobsExplicit && !options.workerSockets.empty())
+      usage("--jobs sizes the workers --distribute spawns; daemons given "
+            "via --workers own their pools already");
+    if (options.emitExplicit && options.emit != "json")
+      usage("--distribute/--workers print a table or --emit=json (got "
+            "--emit=" + options.emit + ")");
+  }
 
   // Refuse flag combinations that would otherwise be silently ignored.
   if (options.tune) {
@@ -579,12 +675,28 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
   } else {
     if (!options.tuneOnlyFlag.empty())
       usage(options.tuneOnlyFlag + " requires --tune");
-    if (options.emitExplicit && options.emit == "json")
-      usage("--emit=json requires --tune");
-    if (!options.sweeps.empty() &&
-        (options.emitExplicit || options.validate ||
-         !options.outputPath.empty()))
-      usage("--sweep cannot be combined with --emit, -o, or --validate");
+    if (options.emitExplicit && options.emit == "json" &&
+        options.sweeps.empty())
+      usage("--emit=json requires --tune or --sweep");
+    const bool sweepJson = !options.sweeps.empty() &&
+                           options.emitExplicit && options.emit == "json";
+    if (!options.sweeps.empty() && options.validate)
+      usage("--sweep cannot be combined with --validate");
+    if (!options.sweeps.empty() && options.emitExplicit && !sweepJson)
+      usage("--sweep only supports --emit=json (got --emit=" +
+            options.emit + "); the default output is the table");
+    if (!options.sweeps.empty() && !options.outputPath.empty() && !sweepJson)
+      usage("-o with --sweep requires --emit=json (the table prints to "
+            "stdout)");
+    if (sweepJson && options.simulateElements > 0)
+      usage("--emit=json sweep reports carry no simulation columns; drop "
+            "--simulate or the json emit");
+    if (sweepJson && options.explainCache)
+      usage("--emit=json sweep reports carry no cache provenance; drop "
+            "--explain-cache or the json emit");
+    if (sweepJson && options.asyncJobsExplicit)
+      usage("--emit=json sweeps run the synchronous explorer; drop "
+            "--async-jobs or the json emit");
     if (options.jobsExplicit && options.sweeps.empty())
       usage("--jobs only applies to --sweep/--tune (single-shot compiles "
             "run on one thread)");
@@ -608,9 +720,10 @@ CliOptions parseArgs(const std::vector<std::string>& args) {
   if (options.jobsExplicit && options.asyncJobsExplicit)
     usage("--jobs and --async-jobs are mutually exclusive (both size the "
           "worker pool)");
-  if (options.deadlineMsExplicit && !options.asyncJobsExplicit)
-    usage("--deadline-ms requires --async-jobs or --connect (only queued "
-          "jobs carry a deadline)");
+  if (options.deadlineMsExplicit && !options.asyncJobsExplicit && !distMode)
+    usage("--deadline-ms requires --async-jobs, --connect, or a "
+          "distributed sweep (it is the per-chunk straggler deadline "
+          "with --distribute/--workers)");
   return options;
 }
 
@@ -693,6 +806,25 @@ void printSweepRowBody(const CliOptions& options, const cfd::Flow& flow,
   std::cout << "\n";
 }
 
+/// Writes the canonical sweep report (--emit=json) to -o or stdout;
+/// nothing else may touch stdout on this path — the bytes are diffed
+/// against distributed runs.
+int writeSweepReport(const CliOptions& options,
+                     const cfd::dist::DistSweepResult& result) {
+  const std::string text = result.reportText();
+  if (options.outputPath.empty()) {
+    std::cout << text;
+    return 0;
+  }
+  std::ofstream output(options.outputPath);
+  if (!output) {
+    std::cerr << "cfdc: cannot write '" << options.outputPath << "'\n";
+    return kExitIo;
+  }
+  output << text;
+  return 0;
+}
+
 int runSweep(const CliOptions& options, cfd::Session& session,
              const std::string& source) {
   using cfd::formatFixed;
@@ -715,6 +847,9 @@ int runSweep(const CliOptions& options, cfd::Session& session,
       std::cerr << "cfdc: " << diagnostic.str() << "\n";
     return 2;
   }
+  if (options.emitExplicit && options.emit == "json")
+    return writeSweepReport(
+        options, cfd::dist::SweepCoordinator::fromSweepResult(*swept));
   const cfd::ExplorationResult& result = swept->exploration;
   const std::vector<std::string>& labels = swept->labels;
 
@@ -1161,6 +1296,102 @@ int runConnect(const CliOptions& options, const std::string& source) {
   return 0;
 }
 
+/// --distribute=N / --workers=...: run the sweep through the dist
+/// coordinator (DESIGN.md §16). Called before any Session exists —
+/// spawning forks worker processes, and fork() must not happen in a
+/// process that already started pool threads.
+int runDistribute(const CliOptions& options, const std::string& source) {
+  using cfd::formatFixed;
+  using cfd::padLeft;
+  using cfd::padRight;
+
+  cfd::dist::DistSweepOptions dist;
+  dist.source = source;
+  dist.baseParams = options.paramSpecs;
+  dist.axes = tuneAxesFrom(options.sweeps);
+  dist.chunkDeadlineMillis = options.deadlineMs;
+  dist.workerSockets = options.workerSockets;
+
+  std::unique_ptr<cfd::dist::WorkerPoolSpawner> spawner;
+  std::string socketDir;
+  if (options.distributeExplicit) {
+    char dirTemplate[] = "/tmp/cfdc-dist-XXXXXX";
+    if (::mkdtemp(dirTemplate) == nullptr) {
+      std::cerr << "cfdc: cannot create a socket directory in /tmp\n";
+      return kExitIo;
+    }
+    socketDir = dirTemplate;
+    cfd::dist::SpawnOptions spawn;
+    spawn.workers = options.distribute;
+    spawn.sessionWorkers = options.jobsExplicit ? options.jobs : 1;
+    spawn.socketDir = socketDir;
+    // Workers are this very binary with --serve; when /proc/self/exe
+    // is unreadable (chroot, unlinked binary) fall back to the
+    // spawner's in-process server — same daemon, no exec.
+    char exePath[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", exePath, sizeof(exePath) - 1);
+    if (n > 0) {
+      exePath[n] = '\0';
+      spawn.cfdcPath = exePath;
+    }
+    spawner = std::make_unique<cfd::dist::WorkerPoolSpawner>(spawn);
+    const cfd::Expected<bool> started = spawner->start();
+    if (!started) {
+      for (const cfd::Diagnostic& diagnostic : started.diagnostics())
+        std::cerr << "cfdc: " << diagnostic.str() << "\n";
+      ::rmdir(socketDir.c_str());
+      return kExitIo;
+    }
+    dist.workerSockets = spawner->socketPaths();
+  }
+
+  cfd::dist::SweepCoordinator coordinator(std::move(dist));
+  const cfd::Expected<cfd::dist::DistSweepResult> swept = coordinator.run();
+  if (spawner != nullptr) {
+    spawner->stopAll();
+    ::rmdir(socketDir.c_str());
+  }
+  if (!swept) {
+    std::cerr << "cfdc: distributed sweep failed:\n";
+    for (const cfd::Diagnostic& diagnostic : swept.diagnostics())
+      std::cerr << "  " << diagnostic.str() << "\n";
+    return kExitDiagnostics;
+  }
+
+  if (options.emitExplicit && options.emit == "json")
+    return writeSweepReport(options, *swept);
+
+  std::size_t labelWidth = 12;
+  for (const cfd::dist::DistRow& row : swept->rows)
+    labelWidth = std::max(labelWidth, row.label.size() + 2);
+  std::cout << "  " << padRight("variant", labelWidth) << padLeft("m", 5)
+            << padLeft("k", 5) << padLeft("BRAM/PLM", 10)
+            << padLeft("kernel us", 11) << "\n";
+  for (const cfd::dist::DistRow& row : swept->rows) {
+    std::cout << "  " << padRight(row.label, labelWidth);
+    if (!row.feasible) {
+      std::cout << "infeasible: " << row.error << "\n";
+      continue;
+    }
+    std::cout << padLeft(std::to_string(row.m), 5)
+              << padLeft(std::to_string(row.k), 5)
+              << padLeft(std::to_string(row.bramPerPlm), 10)
+              << padLeft(formatFixed(row.kernelUs, 1), 11) << "\n";
+  }
+  const cfd::dist::DistSweepStats& stats = swept->stats;
+  std::cout << "  " << swept->rows.size() << " points ("
+            << swept->frontier.size() << " on the frontier) over "
+            << stats.workersConnected
+            << (stats.workersConnected == 1 ? " worker in " : " workers in ")
+            << formatFixed(stats.wallMillis, 1) << " ms\n";
+  std::cout << "  dist: " << stats.chunksDispatched << " chunks ("
+            << stats.chunksRetried << " retried), " << stats.workersLost
+            << " workers lost, " << stats.workersDemoted << " demoted, "
+            << stats.progressEvents << " progress events\n";
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -1185,6 +1416,12 @@ int main(int argc, char** argv) {
 
   if (!options.connectPath.empty())
     return runConnect(options, source.str());
+
+  // Distributed sweeps dispatch before the local Session exists:
+  // --distribute forks worker processes, which is only safe while this
+  // process has no pool threads yet.
+  if (options.distributeExplicit || !options.workerSockets.empty())
+    return runDistribute(options, source.str());
 
   // One session per invocation (DESIGN.md §10): --sweep/--tune and the
   // single-shot path all compile through the same caches and pool.
